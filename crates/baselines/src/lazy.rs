@@ -1,0 +1,552 @@
+//! A lazy SAT-based decision procedure (the paper's CVC comparison point,
+//! Figure 6).
+//!
+//! Unlike the eager encodings, the lazy approach abstracts every atom with
+//! a fresh Boolean variable and enforces theory consistency *lazily*:
+//! the SAT solver proposes an assignment to the abstraction variables, a
+//! first-order theory solver (difference logic with disequality splitting)
+//! checks it, and inconsistent assignments are ruled out by adding conflict
+//! clauses built from minimal negative-cycle explanations. The process
+//! iterates until the SAT solver reports unsatisfiability (the formula is
+//! valid) or the theory accepts an assignment (a counterexample).
+//!
+//! Like CVC, this procedure does not exploit positive equality.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use sufsat_core::{Outcome, StopReason};
+use sufsat_encode::{load_into_solver, Circuit, CnfMode, Signal};
+use sufsat_sat::{SolveResult, Solver};
+use sufsat_seplog::{
+    solve_with_disequalities_budgeted, Bound, DiffResult, Disequality, GroundTerm,
+    SepAssignment,
+};
+use sufsat_suf::{eliminate, Term, TermId, TermManager, VarSym};
+
+/// Options for the lazy procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LazyOptions {
+    /// Maximum lazy refinement iterations before giving up.
+    pub max_iterations: usize,
+    /// Wall-clock timeout across all iterations.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for LazyOptions {
+    fn default() -> LazyOptions {
+        LazyOptions {
+            max_iterations: 2_000_000,
+            timeout: None,
+        }
+    }
+}
+
+/// Measurements of one lazy run.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct LazyStats {
+    /// Refinement iterations (SAT calls).
+    pub iterations: usize,
+    /// Theory checks performed.
+    pub theory_checks: usize,
+    /// Conflict clauses added by refinement.
+    pub refinement_clauses: usize,
+    /// Total wall time.
+    pub time: Duration,
+}
+
+/// Decides validity of an SUF formula with the lazy procedure.
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_baselines::{decide_lazy, LazyOptions};
+/// use sufsat_suf::TermManager;
+///
+/// let mut tm = TermManager::new();
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let lt = tm.mk_lt(x, y);
+/// let ge = tm.mk_ge(x, y);
+/// let phi = tm.mk_or(lt, ge);
+/// let (outcome, stats) = decide_lazy(&mut tm, phi, &LazyOptions::default());
+/// assert!(outcome.is_valid());
+/// assert!(stats.iterations >= 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a counterexample fails verification (internal soundness bug).
+pub fn decide_lazy(
+    tm: &mut TermManager,
+    phi: TermId,
+    options: &LazyOptions,
+) -> (Outcome, LazyStats) {
+    let start = Instant::now();
+    let mut stats = LazyStats::default();
+
+    let elim = eliminate(tm, phi);
+    let f = elim.formula;
+
+    // Boolean abstraction: atoms and Boolean constants become circuit
+    // inputs; the propositional skeleton is built on top.
+    let mut circuit = Circuit::new();
+    let mut atom_sig: HashMap<TermId, Signal> = HashMap::new();
+    let mut bool_sig_of_sym: HashMap<sufsat_suf::BoolSym, Signal> = HashMap::new();
+    let mut node_sig: HashMap<TermId, Signal> = HashMap::new();
+    for id in tm.postorder(f) {
+        if tm.sort(id) != sufsat_suf::Sort::Bool {
+            continue;
+        }
+        let sig = match tm.term(id) {
+            Term::True => Signal::TRUE,
+            Term::False => Signal::FALSE,
+            Term::Not(a) => !node_sig[a],
+            Term::And(a, b) => {
+                let (x, y) = (node_sig[a], node_sig[b]);
+                circuit.and(x, y)
+            }
+            Term::Or(a, b) => {
+                let (x, y) = (node_sig[a], node_sig[b]);
+                circuit.or(x, y)
+            }
+            Term::Implies(a, b) => {
+                let (x, y) = (node_sig[a], node_sig[b]);
+                circuit.implies(x, y)
+            }
+            Term::Iff(a, b) => {
+                let (x, y) = (node_sig[a], node_sig[b]);
+                circuit.xnor(x, y)
+            }
+            Term::IteBool(c, t, e) => {
+                let (sc, st, se) = (node_sig[c], node_sig[t], node_sig[e]);
+                circuit.mux(sc, st, se)
+            }
+            Term::BoolVar(b) => *bool_sig_of_sym.entry(*b).or_insert_with(|| circuit.input()),
+            Term::Eq(..) | Term::Lt(..) => {
+                let s = circuit.input();
+                atom_sig.insert(id, s);
+                s
+            }
+            Term::PApp(..) => panic!("applications must be eliminated"),
+            _ => unreachable!("integer node filtered"),
+        };
+        node_sig.insert(id, sig);
+    }
+
+    // Tautology clauses force a SAT variable for every abstraction input so
+    // that conflict clauses can always mention them.
+    let var_pins: Vec<Vec<Signal>> = atom_sig
+        .values()
+        .chain(bool_sig_of_sym.values())
+        .map(|&s| vec![s, !s])
+        .collect();
+
+    let mut solver = Solver::new();
+    let map = load_into_solver(
+        &circuit,
+        &[!node_sig[&f]],
+        &var_pins,
+        CnfMode::Tseitin,
+        &mut solver,
+    );
+
+    // All integer constants of the formula (for completing models).
+    let all_int_vars: Vec<VarSym> = {
+        let mut vs: HashSet<VarSym> = HashSet::new();
+        for id in tm.postorder(f) {
+            if let Term::IntVar(v) = tm.term(id) {
+                vs.insert(*v);
+            }
+        }
+        let mut vs: Vec<VarSym> = vs.into_iter().collect();
+        vs.sort_unstable();
+        vs
+    };
+
+    loop {
+        if let Some(limit) = options.timeout {
+            let elapsed = start.elapsed();
+            if elapsed >= limit {
+                stats.time = elapsed;
+                return (Outcome::Unknown(StopReason::Timeout), stats);
+            }
+            solver.set_timeout(Some(limit - elapsed));
+        }
+        if stats.iterations >= options.max_iterations {
+            stats.time = start.elapsed();
+            return (Outcome::Unknown(StopReason::ConflictBudget), stats);
+        }
+        stats.iterations += 1;
+        match solver.solve() {
+            SolveResult::Unsat => {
+                stats.time = start.elapsed();
+                return (Outcome::Valid, stats);
+            }
+            SolveResult::Unknown(_) => {
+                stats.time = start.elapsed();
+                return (Outcome::Unknown(StopReason::Timeout), stats);
+            }
+            SolveResult::Sat => {}
+        }
+
+        // Read the abstraction assignment.
+        let value_of_sig = |s: Signal| -> bool {
+            map.lit(s)
+                .and_then(|l| solver.model_lit_value(l))
+                .unwrap_or(false)
+        };
+        let atom_vals: HashMap<TermId, bool> = atom_sig
+            .iter()
+            .map(|(&id, &s)| (id, value_of_sig(s)))
+            .collect();
+        let bool_vals: HashMap<sufsat_suf::BoolSym, bool> = bool_sig_of_sym
+            .iter()
+            .map(|(&b, &s)| (b, value_of_sig(s)))
+            .collect();
+
+        // Extract ground terms per atom side under this assignment and
+        // build the theory problem.
+        stats.theory_checks += 1;
+        let mut bounds: Vec<Bound> = Vec::new();
+        let mut diseqs: Vec<Disequality> = Vec::new();
+        // tag -> the atoms whose model values justify the constraint.
+        let mut tag_support: Vec<Vec<(TermId, bool)>> = Vec::new();
+        let mut beval = BoolEval {
+            tm,
+            atom_vals: &atom_vals,
+            bool_vals: &bool_vals,
+            memo: HashMap::new(),
+        };
+        let atoms: Vec<(TermId, bool)> = atom_vals.iter().map(|(&id, &v)| (id, v)).collect();
+        for &(atom, value) in &atoms {
+            let (op_is_eq, lhs, rhs) = match tm.term(atom) {
+                Term::Eq(a, b) => (true, *a, *b),
+                Term::Lt(a, b) => (false, *a, *b),
+                _ => unreachable!(),
+            };
+            let (g1, mut support1) = beval.ground_of(lhs);
+            let (g2, support2) = beval.ground_of(rhs);
+            support1.extend(support2);
+            support1.push((atom, value));
+            if g1.var == g2.var {
+                // Constant atom: if the model disagrees with arithmetic,
+                // block this assignment immediately via a conflict clause.
+                let truth = if op_is_eq {
+                    g1.offset == g2.offset
+                } else {
+                    g1.offset < g2.offset
+                };
+                if truth != value {
+                    // Encode as an always-violated pseudo-constraint: the
+                    // clause support alone suffices.
+                    let tag = tag_support.len();
+                    tag_support.push(support1);
+                    // x - x <= -1 is unsatisfiable.
+                    bounds.push(Bound {
+                        x: g1.var,
+                        y: g1.var,
+                        c: -1,
+                        tag,
+                    });
+                }
+                continue;
+            }
+            let tag = tag_support.len();
+            tag_support.push(support1);
+            match (op_is_eq, value) {
+                (true, true) => {
+                    let d = g2.offset - g1.offset;
+                    bounds.push(Bound {
+                        x: g1.var,
+                        y: g2.var,
+                        c: d,
+                        tag,
+                    });
+                    bounds.push(Bound {
+                        x: g2.var,
+                        y: g1.var,
+                        c: -d,
+                        tag,
+                    });
+                }
+                (true, false) => {
+                    diseqs.push(Disequality {
+                        x: g1.var,
+                        y: g2.var,
+                        c: g2.offset - g1.offset,
+                        tag,
+                    });
+                }
+                (false, true) => {
+                    bounds.push(Bound {
+                        x: g1.var,
+                        y: g2.var,
+                        c: g2.offset - g1.offset - 1,
+                        tag,
+                    });
+                }
+                (false, false) => {
+                    // !(g1 < g2)  <=>  g2 - g1 <= k1 - k2.
+                    bounds.push(Bound {
+                        x: g2.var,
+                        y: g1.var,
+                        c: g1.offset - g2.offset,
+                        tag,
+                    });
+                }
+            }
+        }
+
+        let mut split_budget = 200_000usize;
+        let theory = match solve_with_disequalities_budgeted(
+            &bounds,
+            &diseqs,
+            &all_int_vars,
+            &mut split_budget,
+        ) {
+            Some(result) => result,
+            None => {
+                stats.time = start.elapsed();
+                return (Outcome::Unknown(StopReason::Timeout), stats);
+            }
+        };
+        match theory {
+            DiffResult::Sat(model) => {
+                let mut cex = SepAssignment::default();
+                cex.ints.extend(model);
+                cex.bools.extend(bool_vals.iter());
+                assert!(
+                    !cex.evaluate(tm, f),
+                    "internal soundness bug in the lazy procedure: theory \
+                     model does not falsify the formula"
+                );
+                stats.time = start.elapsed();
+                return (Outcome::Invalid(cex), stats);
+            }
+            DiffResult::Unsat(core) => {
+                // Conflict clause: block the combination of atom values
+                // (and their ITE-path supports) behind the core.
+                let mut blocked: HashMap<TermId, bool> = HashMap::new();
+                for tag in core {
+                    for &(atom, value) in &tag_support[tag] {
+                        blocked.insert(atom, value);
+                    }
+                }
+                let clause: Vec<sufsat_sat::Lit> = blocked
+                    .iter()
+                    .map(|(&atom, &value)| {
+                        let sig = atom_sig[&atom];
+                        let lit = map.lit(sig).expect("atoms are pinned");
+                        if value {
+                            !lit
+                        } else {
+                            lit
+                        }
+                    })
+                    .collect();
+                stats.refinement_clauses += 1;
+                solver.add_clause(clause);
+            }
+        }
+    }
+}
+
+/// Evaluates Boolean terms under an abstraction assignment (atoms and
+/// Boolean constants have fixed values; ITE conditions are formulas over
+/// them), and extracts the ground term each integer term denotes.
+struct BoolEval<'a> {
+    tm: &'a TermManager,
+    atom_vals: &'a HashMap<TermId, bool>,
+    bool_vals: &'a HashMap<sufsat_suf::BoolSym, bool>,
+    memo: HashMap<TermId, bool>,
+}
+
+impl BoolEval<'_> {
+    fn eval(&mut self, t: TermId) -> bool {
+        if let Some(&v) = self.memo.get(&t) {
+            return v;
+        }
+        let v = match self.tm.term(t) {
+            Term::True => true,
+            Term::False => false,
+            Term::Not(a) => !self.eval(*a),
+            Term::And(a, b) => {
+                let (a, b) = (*a, *b);
+                self.eval(a) && self.eval(b)
+            }
+            Term::Or(a, b) => {
+                let (a, b) = (*a, *b);
+                self.eval(a) || self.eval(b)
+            }
+            Term::Implies(a, b) => {
+                let (a, b) = (*a, *b);
+                !self.eval(a) || self.eval(b)
+            }
+            Term::Iff(a, b) => {
+                let (a, b) = (*a, *b);
+                self.eval(a) == self.eval(b)
+            }
+            Term::IteBool(c, x, y) => {
+                let (c, x, y) = (*c, *x, *y);
+                if self.eval(c) {
+                    self.eval(x)
+                } else {
+                    self.eval(y)
+                }
+            }
+            Term::BoolVar(b) => self.bool_vals.get(b).copied().unwrap_or(false),
+            Term::Eq(..) | Term::Lt(..) => self.atom_vals.get(&t).copied().unwrap_or(false),
+            Term::PApp(..) => panic!("applications must be eliminated"),
+            _ => unreachable!("integer node in Boolean evaluation"),
+        };
+        self.memo.insert(t, v);
+        v
+    }
+
+    /// The ground term `t` denotes under the abstraction assignment, plus
+    /// the support: atoms/constants inside visited ITE conditions whose
+    /// values determined the path.
+    fn ground_of(&mut self, t: TermId) -> (GroundTerm, Vec<(TermId, bool)>) {
+        let mut support: Vec<(TermId, bool)> = Vec::new();
+        let mut offset = 0i64;
+        let mut cur = t;
+        loop {
+            match self.tm.term(cur) {
+                Term::IntVar(v) => {
+                    return (GroundTerm { var: *v, offset }, support);
+                }
+                Term::Succ(a) => {
+                    offset += 1;
+                    cur = *a;
+                }
+                Term::Pred(a) => {
+                    offset -= 1;
+                    cur = *a;
+                }
+                Term::IteInt(c, x, y) => {
+                    let (c, x, y) = (*c, *x, *y);
+                    let cond = self.eval(c);
+                    self.collect_support(c, &mut support);
+                    cur = if cond { x } else { y };
+                }
+                _ => unreachable!("non-integer term in ground extraction"),
+            }
+        }
+    }
+
+    /// Collects the model values of all atoms and Boolean constants inside
+    /// a condition (conservative support for conflict clauses).
+    fn collect_support(&mut self, cond: TermId, out: &mut Vec<(TermId, bool)>) {
+        for id in self.tm.postorder(cond) {
+            match self.tm.term(id) {
+                Term::Eq(..) | Term::Lt(..) => {
+                    let v = self.atom_vals.get(&id).copied().unwrap_or(false);
+                    out.push((id, v));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lazy(tm: &mut TermManager, phi: TermId) -> (Outcome, LazyStats) {
+        decide_lazy(tm, phi, &LazyOptions::default())
+    }
+
+    #[test]
+    fn totality_is_valid() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let lt = tm.mk_lt(x, y);
+        let ge = tm.mk_ge(x, y);
+        let phi = tm.mk_or(lt, ge);
+        let (outcome, _) = lazy(&mut tm, phi);
+        assert!(outcome.is_valid());
+    }
+
+    #[test]
+    fn refinement_is_needed_for_transitivity() {
+        // (x<y && y<z) => x<z: the first abstraction assignment (x<y, y<z,
+        // !(x<z)) is propositionally fine but theory-inconsistent, so at
+        // least one refinement clause is required.
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let xy = tm.mk_lt(x, y);
+        let yz = tm.mk_lt(y, z);
+        let hyp = tm.mk_and(xy, yz);
+        let xz = tm.mk_lt(x, z);
+        let phi = tm.mk_implies(hyp, xz);
+        let (outcome, stats) = lazy(&mut tm, phi);
+        assert!(outcome.is_valid());
+        assert!(stats.refinement_clauses >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn counterexamples_are_verified() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let phi = tm.mk_lt(x, y);
+        let (outcome, _) = lazy(&mut tm, phi);
+        let Outcome::Invalid(cex) = outcome else {
+            panic!("expected invalid");
+        };
+        assert!(!cex.evaluate(&tm, phi));
+    }
+
+    #[test]
+    fn functions_are_handled_via_elimination() {
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", 1);
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let fx = tm.mk_app(f, vec![x]);
+        let fy = tm.mk_app(f, vec![y]);
+        let hyp = tm.mk_eq(x, y);
+        let conc = tm.mk_eq(fx, fy);
+        let phi = tm.mk_implies(hyp, conc);
+        let (outcome, _) = lazy(&mut tm, phi);
+        assert!(outcome.is_valid());
+    }
+
+    #[test]
+    fn ite_conditions_contribute_support() {
+        // max(x, y) >= y: needs the ITE path condition in conflicts.
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let c = tm.mk_lt(x, y);
+        let max = tm.mk_ite_int(c, y, x);
+        let phi = tm.mk_ge(max, y);
+        let (outcome, _) = lazy(&mut tm, phi);
+        assert!(outcome.is_valid());
+    }
+
+    #[test]
+    fn iteration_cap_reports_unknown() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let xy = tm.mk_lt(x, y);
+        let yz = tm.mk_lt(y, z);
+        let hyp = tm.mk_and(xy, yz);
+        let xz = tm.mk_lt(x, z);
+        let phi = tm.mk_implies(hyp, xz);
+        let opts = LazyOptions {
+            max_iterations: 1,
+            timeout: None,
+        };
+        let (outcome, _) = decide_lazy(&mut tm, phi, &opts);
+        assert_eq!(outcome, Outcome::Unknown(StopReason::ConflictBudget));
+    }
+}

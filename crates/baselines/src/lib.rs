@@ -1,0 +1,133 @@
+//! Baseline decision procedures for SUF: the comparison points of the
+//! paper's Figure 6.
+//!
+//! * [`decide_lazy`] — a lazy SAT-based procedure in the style of CVC:
+//!   Boolean abstraction of atoms, incremental SAT, theory checks with
+//!   difference logic, and refinement by minimal conflict clauses.
+//! * [`decide_svc`] — a structural case-splitting validity checker in the
+//!   style of SVC: recursive splitting on atoms with theory pruning, fast
+//!   on conjunctions (a single shortest-path problem) and exponential on
+//!   disjunction-heavy formulas.
+//!
+//! Both return the same [`Outcome`](sufsat_core::Outcome) type as the main
+//! procedure so the benchmark harness can compare them directly.
+
+#![warn(missing_docs)]
+
+mod lazy;
+mod svc;
+
+pub use lazy::{decide_lazy, LazyOptions, LazyStats};
+pub use svc::{decide_svc, SvcOptions, SvcStats};
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+    use sufsat_core::{decide, DecideOptions, EncodingMode, Outcome};
+    use sufsat_seplog::{brute_force_validity, OracleResult, SepAnalysis};
+    use sufsat_suf::{TermId, TermManager};
+
+    /// Random separation formulas (same recipe scheme as the other crates).
+    fn build_random_sep(tm: &mut TermManager, recipe: &[(u8, u8, u8)], n_vars: usize) -> TermId {
+        let vars: Vec<TermId> = (0..n_vars).map(|i| tm.int_var(&format!("x{i}"))).collect();
+        let mut ints: Vec<TermId> = vars;
+        let mut bools: Vec<TermId> = Vec::new();
+        for &(op, i, j) in recipe {
+            let (i, j) = (i as usize, j as usize);
+            match op % 8 {
+                0 => {
+                    let a = ints[i % ints.len()];
+                    let b = ints[j % ints.len()];
+                    let t = tm.mk_eq(a, b);
+                    bools.push(t);
+                }
+                1 => {
+                    let a = ints[i % ints.len()];
+                    let b = ints[j % ints.len()];
+                    let t = tm.mk_lt(a, b);
+                    bools.push(t);
+                }
+                2 if !bools.is_empty() => {
+                    let a = bools[i % bools.len()];
+                    let t = tm.mk_not(a);
+                    bools.push(t);
+                }
+                3 if bools.len() >= 2 => {
+                    let a = bools[i % bools.len()];
+                    let b = bools[j % bools.len()];
+                    let t = tm.mk_and(a, b);
+                    bools.push(t);
+                }
+                4 if bools.len() >= 2 => {
+                    let a = bools[i % bools.len()];
+                    let b = bools[j % bools.len()];
+                    let t = tm.mk_or(a, b);
+                    bools.push(t);
+                }
+                5 => {
+                    let a = ints[i % ints.len()];
+                    let t = if j % 2 == 0 {
+                        tm.mk_succ(a)
+                    } else {
+                        tm.mk_pred(a)
+                    };
+                    ints.push(t);
+                }
+                6 if !bools.is_empty() => {
+                    let c = bools[i % bools.len()];
+                    let a = ints[i % ints.len()];
+                    let b = ints[j % ints.len()];
+                    let t = tm.mk_ite_int(c, a, b);
+                    ints.push(t);
+                }
+                _ => {
+                    let a = ints[i % ints.len()];
+                    let b = ints[j % ints.len()];
+                    let t = tm.mk_le(a, b);
+                    bools.push(t);
+                }
+            }
+        }
+        match bools.last() {
+            Some(&t) => t,
+            None => tm.mk_true(),
+        }
+    }
+
+    fn recipe_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+        prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..16)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The lazy and SVC baselines agree with the oracle and with the
+        /// eager hybrid procedure on random separation formulas.
+        #[test]
+        fn baselines_agree_with_oracle_and_hybrid(recipe in recipe_strategy()) {
+            let mut tm = TermManager::new();
+            let phi = build_random_sep(&mut tm, &recipe, 3);
+            let analysis = SepAnalysis::new(&tm, phi, &HashSet::new());
+            let expected =
+                match brute_force_validity(&tm, phi, &analysis, 1, 300_000) {
+                    OracleResult::Valid => true,
+                    OracleResult::Invalid(_) => false,
+                    OracleResult::TooLarge => return Ok(()),
+                };
+            let (lazy_out, _) = decide_lazy(&mut tm, phi, &LazyOptions::default());
+            prop_assert_eq!(lazy_out.is_valid(), expected, "lazy");
+            prop_assert!(!matches!(lazy_out, Outcome::Unknown(_)));
+            let (svc_out, _) = decide_svc(&mut tm, phi, &SvcOptions::default());
+            prop_assert_eq!(svc_out.is_valid(), expected, "svc");
+            prop_assert!(!matches!(svc_out, Outcome::Unknown(_)));
+            let hybrid = decide(
+                &mut tm,
+                phi,
+                &DecideOptions::with_mode(EncodingMode::Hybrid(2)),
+            );
+            prop_assert_eq!(hybrid.outcome.is_valid(), expected, "hybrid");
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! A structural case-splitting validity checker (the paper's SVC
+//! comparison point, Figure 6).
+//!
+//! SVC-style checkers decide validity by recursively splitting on atomic
+//! formulas and checking the accumulated literal set with a first-order
+//! solver at the leaves. Conjunctions of separation predicates reduce to a
+//! single shortest-path check — which is why the paper observes SVC winning
+//! on small conjunctive formulas — while disjunction-heavy formulas force
+//! an exponential number of case splits, matching SVC's blow-up in
+//! Figure 6.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use sufsat_core::{Outcome, StopReason};
+use sufsat_seplog::{
+    expand_ites_bounded, solve_with_disequalities_budgeted, Bound, DiffResult, Disequality,
+    GroundTerm, SepAssignment,
+};
+use sufsat_suf::{eliminate, BoolSym, Term, TermId, TermManager, VarSym};
+
+/// Options for the case-splitting checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvcOptions {
+    /// Maximum number of case splits before giving up.
+    pub max_splits: usize,
+    /// Wall-clock timeout.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for SvcOptions {
+    fn default() -> SvcOptions {
+        SvcOptions {
+            max_splits: 50_000_000,
+            timeout: None,
+        }
+    }
+}
+
+/// Measurements of one case-splitting run.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct SvcStats {
+    /// Case splits performed.
+    pub splits: usize,
+    /// Theory checks performed.
+    pub theory_checks: usize,
+    /// Total wall time.
+    pub time: Duration,
+}
+
+/// Decides validity of an SUF formula by recursive case splitting.
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_baselines::{decide_svc, SvcOptions};
+/// use sufsat_suf::TermManager;
+///
+/// let mut tm = TermManager::new();
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let z = tm.int_var("z");
+/// let xy = tm.mk_lt(x, y);
+/// let yz = tm.mk_lt(y, z);
+/// let hyp = tm.mk_and(xy, yz);
+/// let xz = tm.mk_lt(x, z);
+/// let phi = tm.mk_implies(hyp, xz);
+/// let (outcome, _) = decide_svc(&mut tm, phi, &SvcOptions::default());
+/// assert!(outcome.is_valid());
+/// ```
+///
+/// # Panics
+///
+/// Panics if a counterexample fails verification (internal soundness bug).
+pub fn decide_svc(tm: &mut TermManager, phi: TermId, options: &SvcOptions) -> (Outcome, SvcStats) {
+    let start = Instant::now();
+    let mut stats = SvcStats::default();
+
+    let elim = eliminate(tm, phi);
+    // Expand integer ITEs so that every atom is ground. The expansion is
+    // worst-case exponential — the structural blow-up behind SVC's Figure 6
+    // losses — so it runs under a node budget.
+    let Some(expanded) = expand_ites_bounded(tm, elim.formula, 2_000_000) else {
+        stats.time = start.elapsed();
+        return (Outcome::Unknown(StopReason::Timeout), stats);
+    };
+
+    // Split points: atoms and Boolean constants, in bottom-up order.
+    let mut split_points: Vec<TermId> = Vec::new();
+    for id in tm.postorder(expanded) {
+        match tm.term(id) {
+            // Same-variable atoms are decided by arithmetic; splitting on
+            // them would be wasted work.
+            Term::Eq(a, b) | Term::Lt(a, b)
+                if ground_term(tm, *a).var != ground_term(tm, *b).var => {
+                    split_points.push(id);
+                }
+            Term::BoolVar(_) => split_points.push(id),
+            _ => {}
+        }
+    }
+    // All integer constants (for completing counterexample models).
+    let all_int_vars: Vec<VarSym> = {
+        let mut vs: Vec<VarSym> = tm
+            .postorder(expanded)
+            .iter()
+            .filter_map(|&id| match tm.term(id) {
+                Term::IntVar(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    };
+
+    let mut search = Search {
+        tm,
+        expanded,
+        split_points: &split_points,
+        all_int_vars: &all_int_vars,
+        assignment: HashMap::new(),
+        stats: &mut stats,
+        deadline: options.timeout.map(|t| start + t),
+        max_splits: options.max_splits,
+    };
+    let result = search.run(0);
+    stats.time = start.elapsed();
+    let outcome = match result {
+        Ok(None) => Outcome::Valid,
+        Ok(Some(cex)) => {
+            assert!(
+                !cex.evaluate(tm, expanded),
+                "internal soundness bug in the case-splitting checker"
+            );
+            Outcome::Invalid(cex)
+        }
+        Err(reason) => Outcome::Unknown(reason),
+    };
+    (outcome, stats)
+}
+
+struct Search<'a> {
+    tm: &'a TermManager,
+    expanded: TermId,
+    split_points: &'a [TermId],
+    all_int_vars: &'a [VarSym],
+    /// Current partial assignment to split points.
+    assignment: HashMap<TermId, bool>,
+    stats: &'a mut SvcStats,
+    deadline: Option<Instant>,
+    max_splits: usize,
+}
+
+impl Search<'_> {
+    /// Depth-first search over split points; returns a counterexample if a
+    /// theory-consistent falsifying branch exists.
+    fn run(&mut self, next: usize) -> Result<Option<SepAssignment>, StopReason> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(StopReason::Timeout);
+            }
+        }
+        // Three-valued evaluation under the current partial assignment.
+        match self.eval_partial(self.expanded) {
+            Some(true) => return Ok(None), // branch cannot falsify
+            Some(false) => {
+                // Candidate falsifying branch: theory-check the literals.
+                return Ok(self.theory_model());
+            }
+            None => {}
+        }
+        // Pick the next unassigned split point.
+        let mut idx = next;
+        while idx < self.split_points.len() && self.assignment.contains_key(&self.split_points[idx])
+        {
+            idx += 1;
+        }
+        if idx == self.split_points.len() {
+            // Fully assigned but three-valued eval returned None: cannot
+            // happen (all leaves decided).
+            unreachable!("all split points assigned yet formula undecided");
+        }
+        let point = self.split_points[idx];
+        for value in [false, true] {
+            if self.stats.splits >= self.max_splits {
+                return Err(StopReason::ConflictBudget);
+            }
+            self.stats.splits += 1;
+            self.assignment.insert(point, value);
+            // Early theory pruning: skip branches whose literal set is
+            // already inconsistent.
+            if self.literals_consistent() {
+                if let Some(cex) = self.run(idx + 1)? {
+                    self.assignment.remove(&point);
+                    return Ok(Some(cex));
+                }
+            }
+            self.assignment.remove(&point);
+        }
+        Ok(None)
+    }
+
+    /// Three-valued evaluation of the formula under the partial assignment.
+    fn eval_partial(&self, root: TermId) -> Option<bool> {
+        let mut memo: HashMap<TermId, Option<bool>> = HashMap::new();
+        for id in self.tm.postorder(root) {
+            if self.tm.sort(id) != sufsat_suf::Sort::Bool {
+                continue;
+            }
+            let v: Option<bool> = match self.tm.term(id) {
+                Term::True => Some(true),
+                Term::False => Some(false),
+                Term::Not(a) => memo[a].map(|b| !b),
+                Term::And(a, b) => match (memo[a], memo[b]) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                },
+                Term::Or(a, b) => match (memo[a], memo[b]) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                },
+                Term::Implies(a, b) => match (memo[a], memo[b]) {
+                    (Some(false), _) | (_, Some(true)) => Some(true),
+                    (Some(true), Some(false)) => Some(false),
+                    _ => None,
+                },
+                Term::Iff(a, b) => match (memo[a], memo[b]) {
+                    (Some(x), Some(y)) => Some(x == y),
+                    _ => None,
+                },
+                Term::IteBool(c, t, e) => match memo[c] {
+                    Some(true) => memo[t],
+                    Some(false) => memo[e],
+                    None => match (memo[t], memo[e]) {
+                        (Some(x), Some(y)) if x == y => Some(x),
+                        _ => None,
+                    },
+                },
+                Term::BoolVar(_) => self.assignment.get(&id).copied(),
+                Term::Eq(..) | Term::Lt(..) => match self.constant_atom_truth(id) {
+                    Some(t) => Some(t),
+                    None => self.assignment.get(&id).copied(),
+                },
+                Term::PApp(..) => panic!("applications must be eliminated"),
+                _ => unreachable!(),
+            };
+            memo.insert(id, v);
+        }
+        memo[&root]
+    }
+
+    /// Truth of same-variable ground atoms (decided by arithmetic alone).
+    fn constant_atom_truth(&self, atom: TermId) -> Option<bool> {
+        let (is_eq, a, b) = match self.tm.term(atom) {
+            Term::Eq(a, b) => (true, *a, *b),
+            Term::Lt(a, b) => (false, *a, *b),
+            _ => return None,
+        };
+        let g1 = ground_term(self.tm, a);
+        let g2 = ground_term(self.tm, b);
+        if g1.var == g2.var {
+            Some(if is_eq {
+                g1.offset == g2.offset
+            } else {
+                g1.offset < g2.offset
+            })
+        } else {
+            None
+        }
+    }
+
+    fn constraints(&mut self) -> (Vec<Bound>, Vec<Disequality>) {
+        let mut bounds = Vec::new();
+        let mut diseqs = Vec::new();
+        for (tag, (&atom, &value)) in self.assignment.iter().enumerate() {
+            let (is_eq, a, b) = match self.tm.term(atom) {
+                Term::Eq(a, b) => (true, *a, *b),
+                Term::Lt(a, b) => (false, *a, *b),
+                Term::BoolVar(_) => continue,
+                _ => unreachable!(),
+            };
+            let g1 = ground_term(self.tm, a);
+            let g2 = ground_term(self.tm, b);
+            if g1.var == g2.var {
+                continue; // constant atoms never enter the assignment
+            }
+            match (is_eq, value) {
+                (true, true) => {
+                    let d = g2.offset - g1.offset;
+                    bounds.push(Bound {
+                        x: g1.var,
+                        y: g2.var,
+                        c: d,
+                        tag,
+                    });
+                    bounds.push(Bound {
+                        x: g2.var,
+                        y: g1.var,
+                        c: -d,
+                        tag,
+                    });
+                }
+                (true, false) => diseqs.push(Disequality {
+                    x: g1.var,
+                    y: g2.var,
+                    c: g2.offset - g1.offset,
+                    tag,
+                }),
+                (false, true) => bounds.push(Bound {
+                    x: g1.var,
+                    y: g2.var,
+                    c: g2.offset - g1.offset - 1,
+                    tag,
+                }),
+                (false, false) => bounds.push(Bound {
+                    x: g2.var,
+                    y: g1.var,
+                    c: g1.offset - g2.offset,
+                    tag,
+                }),
+            }
+        }
+        (bounds, diseqs)
+    }
+
+    fn literals_consistent(&mut self) -> bool {
+        let (bounds, diseqs) = self.constraints();
+        self.stats.theory_checks += 1;
+        let mut budget = 50_000usize;
+        matches!(
+            solve_with_disequalities_budgeted(&bounds, &diseqs, &[], &mut budget),
+            // A budget overrun keeps the branch alive (conservative).
+            Some(DiffResult::Sat(_)) | None
+        )
+    }
+
+    fn theory_model(&mut self) -> Option<SepAssignment> {
+        let (bounds, diseqs) = self.constraints();
+        self.stats.theory_checks += 1;
+        let mut budget = 200_000usize;
+        let Some(result) =
+            solve_with_disequalities_budgeted(&bounds, &diseqs, self.all_int_vars, &mut budget)
+        else {
+            // Treated as inconsistent for this leaf; the search continues
+            // (the run-level timeout bounds overall work).
+            return None;
+        };
+        match result {
+            DiffResult::Sat(model) => {
+                let mut cex = SepAssignment::default();
+                cex.ints.extend(model);
+                for (&point, &value) in &self.assignment {
+                    if let Term::BoolVar(b) = self.tm.term(point) {
+                        let b: BoolSym = *b;
+                        cex.bools.insert(b, value);
+                    }
+                }
+                Some(cex)
+            }
+            DiffResult::Unsat(_) => None,
+        }
+    }
+}
+
+fn ground_term(tm: &TermManager, mut t: TermId) -> GroundTerm {
+    let mut offset = 0i64;
+    loop {
+        match tm.term(t) {
+            Term::IntVar(v) => return GroundTerm { var: *v, offset },
+            Term::Succ(a) => {
+                offset += 1;
+                t = *a;
+            }
+            Term::Pred(a) => {
+                offset -= 1;
+                t = *a;
+            }
+            _ => panic!("atom side is not ground; run expand_ites first"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(tm: &mut TermManager, phi: TermId) -> (Outcome, SvcStats) {
+        decide_svc(tm, phi, &SvcOptions::default())
+    }
+
+    #[test]
+    fn transitivity_is_valid() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let xy = tm.mk_lt(x, y);
+        let yz = tm.mk_lt(y, z);
+        let hyp = tm.mk_and(xy, yz);
+        let xz = tm.mk_lt(x, z);
+        let phi = tm.mk_implies(hyp, xz);
+        let (outcome, _) = svc(&mut tm, phi);
+        assert!(outcome.is_valid());
+    }
+
+    #[test]
+    fn conjunctions_need_few_splits() {
+        // A conjunction at the top: ¬φ is a single theory problem, so the
+        // split count stays linear in the number of atoms.
+        let mut tm = TermManager::new();
+        let vars: Vec<_> = (0..6).map(|i| tm.int_var(&format!("v{i}"))).collect();
+        let mut chain = Vec::new();
+        for w in vars.windows(2) {
+            chain.push(tm.mk_lt(w[0], w[1]));
+        }
+        let hyp = tm.mk_and_many(&chain);
+        let conc = tm.mk_lt(vars[0], vars[5]);
+        let phi = tm.mk_implies(hyp, conc);
+        let (outcome, stats) = svc(&mut tm, phi);
+        assert!(outcome.is_valid());
+        assert!(stats.splits <= 64, "splits = {}", stats.splits);
+    }
+
+    #[test]
+    fn counterexamples_verify() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let xy = tm.mk_lt(x, y);
+        let xz = tm.mk_lt(x, z);
+        let phi = tm.mk_implies(xy, xz);
+        let (outcome, _) = svc(&mut tm, phi);
+        let Outcome::Invalid(cex) = outcome else {
+            panic!("expected invalid");
+        };
+        assert!(!cex.evaluate(&tm, phi));
+    }
+
+    #[test]
+    fn ite_and_functions_are_supported() {
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", 1);
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let fx = tm.mk_app(f, vec![x]);
+        let fy = tm.mk_app(f, vec![y]);
+        let c = tm.mk_lt(x, y);
+        let m = tm.mk_ite_int(c, fx, fy);
+        // ITE picks one of f(x), f(y); in either case m = f(x) or m = f(y).
+        let e1 = tm.mk_eq(m, fx);
+        let e2 = tm.mk_eq(m, fy);
+        let phi = tm.mk_or(e1, e2);
+        let (outcome, _) = svc(&mut tm, phi);
+        assert!(outcome.is_valid());
+    }
+
+    #[test]
+    fn split_budget_reports_unknown() {
+        let mut tm = TermManager::new();
+        let vars: Vec<_> = (0..6).map(|i| tm.int_var(&format!("v{i}"))).collect();
+        let mut atoms = Vec::new();
+        for i in 0..vars.len() {
+            for j in i + 1..vars.len() {
+                atoms.push(tm.mk_eq(vars[i], vars[j]));
+            }
+        }
+        let phi = tm.mk_or_many(&atoms);
+        let opts = SvcOptions {
+            max_splits: 1,
+            timeout: None,
+        };
+        let (outcome, _) = decide_svc(&mut tm, phi, &opts);
+        assert!(matches!(outcome, Outcome::Unknown(_)) || matches!(outcome, Outcome::Invalid(_)));
+    }
+
+    #[test]
+    fn bool_vars_split_without_theory() {
+        let mut tm = TermManager::new();
+        let b = tm.bool_var("b");
+        let nb = tm.mk_not(b);
+        let phi = tm.mk_or(b, nb);
+        let (outcome, _) = svc(&mut tm, phi);
+        assert!(outcome.is_valid());
+        let (outcome2, _) = svc(&mut tm, b);
+        assert!(matches!(outcome2, Outcome::Invalid(_)));
+    }
+}

@@ -1,0 +1,469 @@
+//! The end-to-end decision procedure (paper §2.1 pipeline + §4 hybrid).
+//!
+//! Validity of an SUF formula `F_suf` is decided by:
+//!
+//! 1. eliminating uninterpreted function/predicate applications with the
+//!    positive-equality-aware nested-ITE method (`sufsat-suf`), yielding
+//!    the separation formula `F_sep`;
+//! 2. computing equivalence classes, small-model domain sizes and per-class
+//!    `SepCnt` (`sufsat-seplog`);
+//! 3. encoding each class with SD or EIJ according to the selected
+//!    [`EncodingMode`] (`sufsat-encode`), producing `F_bool = F_trans ⇒
+//!    F_bvar`;
+//! 4. checking `¬F_bool` with the CDCL SAT solver (`sufsat-sat`): UNSAT
+//!    means `F_suf` is valid; a model decodes into a counterexample.
+
+use std::time::{Duration, Instant};
+
+use sufsat_encode::{decode_model, encode, load_into_solver, CnfMode, EncodeOptions, EncodingMode};
+use sufsat_sat::{Interrupt, SolveResult, Solver};
+use sufsat_seplog::{SepAnalysis, SepAssignment};
+use sufsat_suf::{eliminate, TermId, TermManager};
+
+/// Options controlling [`decide`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecideOptions {
+    /// Per-class encoding selection (the paper's SD / EIJ / HYBRID /
+    /// fixed-hybrid modes).
+    pub mode: EncodingMode,
+    /// CNF conversion style.
+    pub cnf: CnfMode,
+    /// Budget on generated transitivity constraints; exceeding it stops the
+    /// run in the translation stage, like the paper's EIJ timeouts.
+    pub trans_budget: usize,
+    /// Optional conflict budget for the SAT search.
+    pub conflict_budget: Option<u64>,
+    /// Optional wall-clock timeout for the SAT search.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for DecideOptions {
+    fn default() -> DecideOptions {
+        DecideOptions {
+            mode: EncodingMode::Hybrid(DEFAULT_SEP_THOLD),
+            cnf: CnfMode::default(),
+            trans_budget: 2_000_000,
+            conflict_budget: None,
+            timeout: None,
+        }
+    }
+}
+
+impl DecideOptions {
+    /// Options for one of the paper's encoding modes with other settings at
+    /// their defaults.
+    pub fn with_mode(mode: EncodingMode) -> DecideOptions {
+        DecideOptions {
+            mode,
+            ..DecideOptions::default()
+        }
+    }
+}
+
+/// The paper's default `SEP_THOLD`, derived in §4.1 by clustering
+/// normalized EIJ runtimes on a 16-benchmark training sample.
+pub const DEFAULT_SEP_THOLD: usize = 700;
+
+/// The answer of the decision procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The formula is valid (true under every interpretation).
+    Valid,
+    /// The formula is falsifiable; the assignment falsifies the separation
+    /// formula obtained after function elimination (fresh `vf!…`/`vp!…`
+    /// constants name the eliminated application instances).
+    Invalid(SepAssignment),
+    /// A resource budget stopped the run first.
+    Unknown(StopReason),
+}
+
+impl Outcome {
+    /// Whether the outcome is [`Outcome::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Outcome::Valid)
+    }
+}
+
+/// Why a run stopped without an answer.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// Transitivity-constraint generation exceeded its budget (the paper's
+    /// EIJ translation-stage blow-up).
+    TranslationBudget,
+    /// The SAT conflict budget ran out.
+    ConflictBudget,
+    /// The SAT wall-clock timeout elapsed.
+    Timeout,
+}
+
+/// Measurements of one run — the quantities the paper's evaluation reports
+/// (Figure 2 columns, Figure 3 features, Figures 4–6 total times).
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct DecideStats {
+    /// DAG node count of the input formula (the paper's size measure).
+    pub dag_size: usize,
+    /// Time spent translating to CNF (elimination + analysis + encoding).
+    pub translate_time: Duration,
+    /// Time spent in the SAT solver.
+    pub sat_time: Duration,
+    /// CNF clauses given to the solver (Figure 2, "# of CNF Clauses").
+    pub cnf_clauses: u64,
+    /// Conflict clauses the solver derived (Figure 2, "# of Conflict
+    /// Clauses").
+    pub conflict_clauses: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// SAT propagations.
+    pub propagations: u64,
+    /// Total separation predicates across classes (Figure 3's feature).
+    pub sep_predicates: usize,
+    /// Number of `V_g` equivalence classes.
+    pub classes: usize,
+    /// Classes encoded with SD.
+    pub sd_classes: usize,
+    /// Classes encoded with EIJ.
+    pub eij_classes: usize,
+    /// Canonical predicate variables allocated by EIJ.
+    pub pred_vars: usize,
+    /// Transitivity clauses generated.
+    pub trans_clauses: usize,
+    /// Largest small-model range over classes (a §3 candidate feature).
+    pub max_class_range: u64,
+    /// Sum of small-model ranges (another §3 candidate feature).
+    pub total_class_range: u64,
+    /// Fraction of function applications classified as p-functions
+    /// (another §3 candidate feature).
+    pub p_fun_fraction: f64,
+    /// Fresh constants introduced by function elimination.
+    pub fresh_constants: usize,
+}
+
+impl DecideStats {
+    /// Total wall time (translation + SAT).
+    pub fn total_time(&self) -> Duration {
+        self.translate_time + self.sat_time
+    }
+
+    /// Total time normalized by formula size, in seconds per thousand DAG
+    /// nodes — the y-axis of the paper's Figure 3.
+    pub fn normalized_time(&self) -> f64 {
+        self.total_time().as_secs_f64() / (self.dag_size.max(1) as f64 / 1000.0)
+    }
+}
+
+/// Outcome plus measurements of one [`decide`] run.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// The measurements.
+    pub stats: DecideStats,
+}
+
+/// Decides validity of the SUF formula `phi`.
+///
+/// Counterexamples are verified against the reference evaluator before
+/// being returned.
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_core::{decide, DecideOptions};
+/// use sufsat_suf::TermManager;
+///
+/// let mut tm = TermManager::new();
+/// let f = tm.declare_fun("f", 1);
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let fx = tm.mk_app(f, vec![x]);
+/// let fy = tm.mk_app(f, vec![y]);
+/// let hyp = tm.mk_eq(x, y);
+/// let conc = tm.mk_eq(fx, fy);
+/// let phi = tm.mk_implies(hyp, conc);
+/// let decision = decide(&mut tm, phi, &DecideOptions::default());
+/// assert!(decision.outcome.is_valid());
+/// ```
+///
+/// # Panics
+///
+/// Panics if a counterexample fails verification (an internal soundness
+/// bug, exercised heavily by the test suite).
+pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Decision {
+    let translate_start = Instant::now();
+    let dag_size = tm.dag_size(phi);
+
+    // Step 1: eliminate applications (positive-equality aware).
+    let elim = eliminate(tm, phi);
+
+    // Step 2: structural analyses.
+    let analysis = SepAnalysis::new(tm, elim.formula, &elim.p_vars);
+
+    let mut stats = DecideStats {
+        dag_size,
+        sep_predicates: analysis.total_sep_predicates(),
+        classes: analysis.classes.len(),
+        max_class_range: analysis.classes.iter().map(|c| c.range).max().unwrap_or(0),
+        total_class_range: analysis.classes.iter().map(|c| c.range).sum(),
+        p_fun_fraction: elim.polarity.p_fun_app_fraction(tm, phi),
+        fresh_constants: elim.num_fresh_int + elim.num_fresh_bool,
+        ..DecideStats::default()
+    };
+
+    // Step 3: encode.
+    let encode_options = EncodeOptions {
+        mode: options.mode,
+        cnf: options.cnf,
+        trans_budget: options.trans_budget,
+        deadline: options.timeout.map(|t| translate_start + t),
+    };
+    let encoded = match encode(tm, elim.formula, &analysis, &encode_options) {
+        Ok(encoded) => encoded,
+        Err(err) => {
+            stats.translate_time = translate_start.elapsed();
+            let reason = if err.timed_out {
+                StopReason::Timeout
+            } else {
+                StopReason::TranslationBudget
+            };
+            return Decision {
+                outcome: Outcome::Unknown(reason),
+                stats,
+            };
+        }
+    };
+    stats.sd_classes = encoded.stats.sd_classes;
+    stats.eij_classes = encoded.stats.eij_classes;
+    stats.pred_vars = encoded.stats.pred_vars;
+    stats.trans_clauses = encoded.stats.trans_clauses;
+
+    // Step 4: check ¬F_bool = F_trans ∧ ¬F_bvar.
+    let mut solver = Solver::new();
+    let map = load_into_solver(
+        &encoded.circuit,
+        &[!encoded.formula],
+        &encoded.trans_clauses,
+        options.cnf,
+        &mut solver,
+    );
+    stats.cnf_clauses = solver.stats().original_clauses;
+    stats.translate_time = translate_start.elapsed();
+
+    solver.set_conflict_budget(options.conflict_budget);
+    solver.set_timeout(options.timeout);
+    let result = solver.solve();
+    stats.sat_time = solver.stats().solve_time;
+    stats.conflict_clauses = solver.stats().conflicts;
+    stats.decisions = solver.stats().decisions;
+    stats.propagations = solver.stats().propagations;
+
+    let outcome = match result {
+        SolveResult::Unsat => Outcome::Valid,
+        SolveResult::Sat => {
+            let cex = decode_model(&encoded, &map, &solver);
+            assert!(
+                !cex.evaluate(tm, elim.formula),
+                "internal soundness bug: decoded counterexample does not \
+                 falsify the separation formula"
+            );
+            Outcome::Invalid(cex)
+        }
+        SolveResult::Unknown(Interrupt::ConflictBudget) => {
+            Outcome::Unknown(StopReason::ConflictBudget)
+        }
+        SolveResult::Unknown(Interrupt::Timeout) => Outcome::Unknown(StopReason::Timeout),
+    };
+    Decision { outcome, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modes() -> Vec<EncodingMode> {
+        vec![
+            EncodingMode::Sd,
+            EncodingMode::Eij,
+            EncodingMode::Hybrid(0),
+            EncodingMode::Hybrid(2),
+            EncodingMode::Hybrid(DEFAULT_SEP_THOLD),
+            EncodingMode::FixedHybrid,
+        ]
+    }
+
+    #[test]
+    fn functional_consistency_is_valid() {
+        for mode in modes() {
+            let mut tm = TermManager::new();
+            let f = tm.declare_fun("f", 2);
+            let x = tm.int_var("x");
+            let y = tm.int_var("y");
+            let z = tm.int_var("z");
+            let fxy = tm.mk_app(f, vec![x, y]);
+            let fxz = tm.mk_app(f, vec![x, z]);
+            let hyp = tm.mk_eq(y, z);
+            let conc = tm.mk_eq(fxy, fxz);
+            let phi = tm.mk_implies(hyp, conc);
+            let d = decide(&mut tm, phi, &DecideOptions::with_mode(mode));
+            assert!(d.outcome.is_valid(), "{mode:?}");
+            assert!(d.stats.fresh_constants >= 2);
+        }
+    }
+
+    #[test]
+    fn functional_consistency_converse_is_invalid() {
+        for mode in modes() {
+            let mut tm = TermManager::new();
+            let f = tm.declare_fun("f", 1);
+            let x = tm.int_var("x");
+            let y = tm.int_var("y");
+            let fx = tm.mk_app(f, vec![x]);
+            let fy = tm.mk_app(f, vec![y]);
+            let hyp = tm.mk_eq(fx, fy);
+            let conc = tm.mk_eq(x, y);
+            let phi = tm.mk_implies(hyp, conc);
+            let d = decide(&mut tm, phi, &DecideOptions::with_mode(mode));
+            assert!(matches!(d.outcome, Outcome::Invalid(_)), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_with_functions_and_arithmetic() {
+        // (x < y ∧ f(y) <= z) => ... mixing g-functions and offsets;
+        // validity: (x < y && y < z) => x+1 < z+1.
+        for mode in modes() {
+            let mut tm = TermManager::new();
+            let x = tm.int_var("x");
+            let y = tm.int_var("y");
+            let z = tm.int_var("z");
+            let xy = tm.mk_lt(x, y);
+            let yz = tm.mk_lt(y, z);
+            let hyp = tm.mk_and(xy, yz);
+            let sx = tm.mk_succ(x);
+            let sz = tm.mk_succ(z);
+            let conc = tm.mk_lt(sx, sz);
+            let phi = tm.mk_implies(hyp, conc);
+            let d = decide(&mut tm, phi, &DecideOptions::with_mode(mode));
+            assert!(d.outcome.is_valid(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn predicate_consistency() {
+        for mode in modes() {
+            let mut tm = TermManager::new();
+            let p = tm.declare_pred("p", 1);
+            let x = tm.int_var("x");
+            let y = tm.int_var("y");
+            let px = tm.mk_papp(p, vec![x]);
+            let py = tm.mk_papp(p, vec![y]);
+            let hyp = tm.mk_eq(x, y);
+            let conc = tm.mk_iff(px, py);
+            let phi = tm.mk_implies(hyp, conc);
+            let d = decide(&mut tm, phi, &DecideOptions::with_mode(mode));
+            assert!(d.outcome.is_valid(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_on_tiny_conflict_budget() {
+        // A formula hard enough to need more than one conflict.
+        let mut tm = TermManager::new();
+        let vars: Vec<_> = (0..8).map(|i| tm.int_var(&format!("v{i}"))).collect();
+        let mut atoms = Vec::new();
+        for i in 0..vars.len() {
+            for j in i + 1..vars.len() {
+                atoms.push(tm.mk_lt(vars[i], vars[j]));
+            }
+        }
+        let phi = tm.mk_or_many(&atoms);
+        let mut options = DecideOptions::with_mode(EncodingMode::Sd);
+        options.conflict_budget = Some(1);
+        let d = decide(&mut tm, phi, &options);
+        // Either it answers immediately (no conflicts needed) or reports
+        // the budget; both must carry stats.
+        match d.outcome {
+            Outcome::Unknown(StopReason::ConflictBudget) => {}
+            Outcome::Invalid(_) | Outcome::Valid => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(d.stats.cnf_clauses > 0);
+    }
+
+    #[test]
+    fn translation_budget_reports_unknown() {
+        // Dense inequality structure with many distinct constants makes
+        // EIJ transitivity explode past a tiny budget.
+        let mut tm = TermManager::new();
+        let vars: Vec<_> = (0..8).map(|i| tm.int_var(&format!("v{i}"))).collect();
+        let mut atoms = Vec::new();
+        for i in 0..vars.len() {
+            for j in 0..vars.len() {
+                if i != j {
+                    let off = tm.mk_offset(vars[j], (i as i64 % 3) - 1);
+                    atoms.push(tm.mk_lt(vars[i], off));
+                }
+            }
+        }
+        let phi = tm.mk_or_many(&atoms);
+        let mut options = DecideOptions::with_mode(EncodingMode::Eij);
+        options.trans_budget = 5;
+        let d = decide(&mut tm, phi, &options);
+        assert_eq!(d.outcome, Outcome::Unknown(StopReason::TranslationBudget));
+    }
+
+    #[test]
+    fn stats_report_figure2_columns() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let c1 = tm.mk_lt(x, y);
+        let c2 = tm.mk_lt(y, z);
+        let c3 = tm.mk_lt(z, x);
+        let conj = tm.mk_and_many(&[c1, c2, c3]);
+        let phi = tm.mk_not(conj);
+        let d = decide(&mut tm, phi, &DecideOptions::with_mode(EncodingMode::Eij));
+        assert!(d.outcome.is_valid());
+        assert!(d.stats.cnf_clauses > 0);
+        assert_eq!(d.stats.sep_predicates, 3);
+        assert_eq!(d.stats.classes, 1);
+        assert_eq!(d.stats.eij_classes, 1);
+        assert!(d.stats.pred_vars >= 3);
+        assert!(d.stats.normalized_time() >= 0.0);
+    }
+
+    #[test]
+    fn hybrid_threshold_switches_methods() {
+        // A class with 3 predicates: threshold 2 forces SD, threshold 3
+        // keeps EIJ.
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let c1 = tm.mk_lt(x, y);
+        let c2 = tm.mk_lt(y, z);
+        let c3 = tm.mk_lt(x, z);
+        let conj = tm.mk_and_many(&[c1, c2, c3]);
+        let phi = tm.mk_not(conj);
+
+        let d_sd = decide(
+            &mut tm,
+            phi,
+            &DecideOptions::with_mode(EncodingMode::Hybrid(2)),
+        );
+        assert_eq!(d_sd.stats.sd_classes, 1);
+        assert_eq!(d_sd.stats.eij_classes, 0);
+
+        let d_eij = decide(
+            &mut tm,
+            phi,
+            &DecideOptions::with_mode(EncodingMode::Hybrid(3)),
+        );
+        assert_eq!(d_eij.stats.sd_classes, 0);
+        assert_eq!(d_eij.stats.eij_classes, 1);
+        // Conjunction of x<y, y<z, x<z is satisfiable, so ¬(...) invalid.
+        assert!(matches!(d_sd.outcome, Outcome::Invalid(_)));
+        assert!(matches!(d_eij.outcome, Outcome::Invalid(_)));
+    }
+}

@@ -1,0 +1,134 @@
+//! Automatic `SEP_THOLD` selection (paper §4.1).
+//!
+//! Given normalized EIJ runtimes on a training sample, the paper sorts the
+//! runtimes, splits the sequence at the index `k` minimizing the sum of the
+//! two parts' variances (1-D clustering with squared-distance similarity),
+//! and picks the smallest multiple of 100 greater than `n_k`, the
+//! separation-predicate count of the benchmark at runtime `T_k`. On the
+//! paper's 16-benchmark sample this procedure yields 700.
+
+/// One training observation: normalized EIJ runtime (seconds per thousand
+/// DAG nodes) and the benchmark's separation-predicate count.
+#[derive(Debug, Copy, Clone, PartialEq)]
+pub struct ThresholdSample {
+    /// Normalized total EIJ time.
+    pub normalized_time: f64,
+    /// The benchmark's separation-predicate count.
+    pub sep_predicates: usize,
+}
+
+/// Selects `SEP_THOLD` from EIJ training observations.
+///
+/// Returns the paper's default of 700 when fewer than two samples are
+/// provided (no split exists).
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_core::{select_threshold, ThresholdSample};
+///
+/// // Two clearly separated clusters: cheap runs up to 650 predicates,
+/// // expensive runs beyond.
+/// let samples: Vec<ThresholdSample> = (0..8)
+///     .map(|i| ThresholdSample {
+///         normalized_time: 0.5 + i as f64 * 0.01,
+///         sep_predicates: 100 + i * 80,
+///     })
+///     .chain((0..4).map(|i| ThresholdSample {
+///         normalized_time: 400.0 + i as f64 * 10.0,
+///         sep_predicates: 2000 + i * 500,
+///     }))
+///     .collect();
+/// let threshold = select_threshold(&samples);
+/// assert_eq!(threshold, 700);
+/// ```
+pub fn select_threshold(samples: &[ThresholdSample]) -> usize {
+    if samples.len() < 2 {
+        return crate::DEFAULT_SEP_THOLD;
+    }
+    let mut sorted: Vec<ThresholdSample> = samples.to_vec();
+    sorted.sort_by(|a, b| {
+        a.normalized_time
+            .partial_cmp(&b.normalized_time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let times: Vec<f64> = sorted.iter().map(|s| s.normalized_time).collect();
+
+    // k splits into {T_1..T_k} and {T_{k+1}..T_n} (1-based k in 1..n).
+    let mut best_k = 1usize;
+    let mut best_score = f64::INFINITY;
+    for k in 1..times.len() {
+        let score = variance(&times[..k]) + variance(&times[k..]);
+        if score < best_score {
+            best_score = score;
+            best_k = k;
+        }
+    }
+    // n_k: the predicate count at runtime T_k (the last "cheap" sample).
+    let n_k = sorted[best_k - 1].sep_predicates;
+    // Smallest multiple of 100 strictly greater than n_k.
+    (n_k / 100 + 1) * 100
+}
+
+fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: f64, n: usize) -> ThresholdSample {
+        ThresholdSample {
+            normalized_time: t,
+            sep_predicates: n,
+        }
+    }
+
+    #[test]
+    fn two_cluster_split() {
+        // Cheap cluster ends at 676 predicates (the paper's n_k), so the
+        // threshold becomes 700.
+        let samples = vec![
+            s(0.3, 12),
+            s(0.5, 40),
+            s(0.8, 120),
+            s(1.0, 300),
+            s(1.6, 676),
+            s(220.0, 1500),
+            s(260.0, 2400),
+            s(300.0, 4000),
+        ];
+        assert_eq!(select_threshold(&samples), 700);
+    }
+
+    #[test]
+    fn exact_multiple_rounds_up() {
+        let samples = vec![s(1.0, 100), s(500.0, 900)];
+        // n_k = 100 -> smallest multiple of 100 greater than 100 is 200.
+        assert_eq!(select_threshold(&samples), 200);
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_default() {
+        assert_eq!(select_threshold(&[]), crate::DEFAULT_SEP_THOLD);
+        assert_eq!(select_threshold(&[s(1.0, 5)]), crate::DEFAULT_SEP_THOLD);
+    }
+
+    #[test]
+    fn variance_helper() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let samples = vec![s(300.0, 4000), s(0.3, 12), s(250.0, 2000), s(1.2, 500)];
+        assert_eq!(select_threshold(&samples), 600);
+    }
+}

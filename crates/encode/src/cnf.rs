@@ -1,0 +1,421 @@
+//! CNF conversion of circuits into the SAT solver.
+//!
+//! Two conversion modes are provided: classic Tseitin (every used gate gets
+//! both implication directions) and polarity-aware Plaisted–Greenbaum
+//! (only the implications required by the gate's occurrence polarities) —
+//! one of the design choices the benchmark harness ablates.
+
+use std::collections::HashMap;
+
+use sufsat_sat::{Lit, Solver, Var};
+
+use crate::circuit::{Circuit, GateNode, Signal};
+
+/// CNF conversion style.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Default)]
+pub enum CnfMode {
+    /// Full Tseitin encoding: three clauses per AND gate.
+    #[default]
+    Tseitin,
+    /// Plaisted–Greenbaum: implications only for needed polarities.
+    PlaistedGreenbaum,
+}
+
+/// Mapping from circuit inputs/gates to SAT variables, produced by
+/// [`load_into_solver`]. Needed to decode SAT models back into circuit
+/// input assignments.
+#[derive(Debug, Clone, Default)]
+pub struct SignalMap {
+    gate_var: HashMap<usize, Var>,
+    input_var: HashMap<u32, Var>,
+}
+
+impl SignalMap {
+    /// The SAT variable allocated for circuit input `index`, if any gate
+    /// using it was loaded.
+    pub fn input_var(&self, index: usize) -> Option<Var> {
+        self.input_var.get(&(index as u32)).copied()
+    }
+
+    /// The SAT literal for a signal, if its gate was loaded.
+    pub fn lit(&self, s: Signal) -> Option<Lit> {
+        self.gate_var
+            .get(&s.gate())
+            .map(|&v| Lit::new(v, !s.is_inverted()))
+    }
+
+    /// The model value of input `index` from a satisfied solver
+    /// (`false` for inputs the encoding never constrained).
+    pub fn input_value(&self, solver: &Solver, index: usize) -> bool {
+        self.input_var(index)
+            .and_then(|v| solver.model_value(v))
+            .unwrap_or(false)
+    }
+}
+
+/// Loads circuit constraints into `solver`:
+///
+/// * every signal in `assertions` is constrained to be true;
+/// * every clause in `clauses` (a disjunction of signals) is asserted.
+///
+/// Returns the signal-to-variable mapping for model decoding.
+pub fn load_into_solver(
+    circuit: &Circuit,
+    assertions: &[Signal],
+    clauses: &[Vec<Signal>],
+    mode: CnfMode,
+    solver: &mut Solver,
+) -> SignalMap {
+    let mut state = Loader {
+        circuit,
+        mode,
+        solver,
+        map: SignalMap::default(),
+        polarity: HashMap::new(),
+        emitted: HashMap::new(),
+    };
+
+    // Polarity seeding (only meaningful for Plaisted–Greenbaum).
+    for &s in assertions {
+        state.require(s, POS);
+    }
+    for clause in clauses {
+        for &l in clause {
+            state.require(l, POS);
+        }
+    }
+
+    // Emit gate definitions bottom-up for everything reachable.
+    for &s in assertions {
+        state.define(s.gate());
+    }
+    for clause in clauses {
+        for &l in clause {
+            state.define(l.gate());
+        }
+    }
+
+    // Assert top-level constraints.
+    for &s in assertions {
+        match state.literal(s) {
+            Ok(lit) => {
+                state.solver.add_clause([lit]);
+            }
+            Err(true) => {}
+            Err(false) => {
+                state.solver.add_clause([]);
+            }
+        }
+    }
+    for clause in clauses {
+        let mut lits = Vec::with_capacity(clause.len());
+        let mut satisfied = false;
+        for &l in clause {
+            match state.literal(l) {
+                Ok(lit) => lits.push(lit),
+                Err(true) => {
+                    satisfied = true;
+                    break;
+                }
+                Err(false) => {}
+            }
+        }
+        if !satisfied {
+            state.solver.add_clause(lits);
+        }
+    }
+    state.map
+}
+
+const POS: u8 = 0b01;
+const NEG: u8 = 0b10;
+
+struct Loader<'a> {
+    circuit: &'a Circuit,
+    mode: CnfMode,
+    solver: &'a mut Solver,
+    map: SignalMap,
+    /// Needed polarities per gate (PG mode).
+    polarity: HashMap<usize, u8>,
+    /// Polarities already emitted per gate.
+    emitted: HashMap<usize, u8>,
+}
+
+impl Loader<'_> {
+    /// Records that signal `s` is needed with polarity `p`, propagating
+    /// through the fan-in cone.
+    fn require(&mut self, s: Signal, p: u8) {
+        let mut stack = vec![(s, p)];
+        while let Some((s, p)) = stack.pop() {
+            let gate = s.gate();
+            let gp = if s.is_inverted() { flip(p) } else { p };
+            let entry = self.polarity.entry(gate).or_insert(0);
+            let added = gp & !*entry;
+            if added == 0 {
+                continue;
+            }
+            *entry |= gp;
+            if let GateNode::And(a, b) = self.circuit.gate(gate) {
+                stack.push((*a, added));
+                stack.push((*b, added));
+            }
+        }
+    }
+
+    /// Allocates (if needed) the SAT variable of a gate.
+    fn var_of(&mut self, gate: usize) -> Var {
+        if let Some(&v) = self.map.gate_var.get(&gate) {
+            return v;
+        }
+        let v = self.solver.new_var();
+        self.map.gate_var.insert(gate, v);
+        if let GateNode::Input(i) = self.circuit.gate(gate) {
+            self.map.input_var.insert(*i, v);
+        }
+        v
+    }
+
+    /// The SAT literal of a signal; `Err(value)` for constants.
+    fn literal(&mut self, s: Signal) -> Result<Lit, bool> {
+        if s.is_const() {
+            return Err(s == Signal::TRUE);
+        }
+        let v = self.var_of(s.gate());
+        Ok(Lit::new(v, !s.is_inverted()))
+    }
+
+    /// Emits the defining clauses of the cone rooted at `gate`,
+    /// iteratively (post-order).
+    fn define(&mut self, root: usize) {
+        let mut stack = vec![root];
+        while let Some(&gate) = stack.last() {
+            let want = match self.mode {
+                CnfMode::Tseitin => POS | NEG,
+                CnfMode::PlaistedGreenbaum => {
+                    self.polarity.get(&gate).copied().unwrap_or(POS | NEG)
+                }
+            };
+            let done = self.emitted.get(&gate).copied().unwrap_or(0);
+            if done & want == want {
+                stack.pop();
+                continue;
+            }
+            match self.circuit.gate(gate) {
+                GateNode::ConstTrue | GateNode::Input(_) => {
+                    self.emitted.insert(gate, POS | NEG);
+                    stack.pop();
+                }
+                GateNode::And(a, b) => {
+                    let (a, b) = (*a, *b);
+                    // Ensure children are defined first.
+                    let need_a = !self.defined_enough(a.gate(), want, a.is_inverted());
+                    let need_b = !self.defined_enough(b.gate(), want, b.is_inverted());
+                    if need_a || need_b {
+                        if need_a {
+                            stack.push(a.gate());
+                        }
+                        if need_b {
+                            stack.push(b.gate());
+                        }
+                        continue;
+                    }
+                    let g = self.var_of(gate);
+                    let glit = Lit::new(g, true);
+                    let la = self.literal(a);
+                    let lb = self.literal(b);
+                    let missing = want & !done;
+                    if missing & POS != 0 {
+                        // g -> a, g -> b.
+                        match la {
+                            Ok(l) => {
+                                self.solver.add_clause([!glit, l]);
+                            }
+                            Err(true) => {}
+                            Err(false) => {
+                                self.solver.add_clause([!glit]);
+                            }
+                        }
+                        match lb {
+                            Ok(l) => {
+                                self.solver.add_clause([!glit, l]);
+                            }
+                            Err(true) => {}
+                            Err(false) => {
+                                self.solver.add_clause([!glit]);
+                            }
+                        }
+                    }
+                    if missing & NEG != 0 {
+                        // a & b -> g.
+                        let mut clause = vec![glit];
+                        let mut trivially_true = false;
+                        for l in [la, lb] {
+                            match l {
+                                Ok(l) => clause.push(!l),
+                                Err(true) => {}
+                                Err(false) => trivially_true = true,
+                            }
+                        }
+                        if !trivially_true {
+                            self.solver.add_clause(clause);
+                        }
+                    }
+                    self.emitted.insert(gate, done | want);
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    /// Whether `gate` already has the polarities it would need as a child
+    /// occurring with inversion `inv` of a parent needing `parent_want`.
+    fn defined_enough(&self, gate: usize, parent_want: u8, inv: bool) -> bool {
+        let want = match self.mode {
+            CnfMode::Tseitin => POS | NEG,
+            CnfMode::PlaistedGreenbaum => {
+                let w = if inv { flip(parent_want) } else { parent_want };
+                w & self.polarity.get(&gate).copied().unwrap_or(POS | NEG)
+            }
+        };
+        let done = self.emitted.get(&gate).copied().unwrap_or(0);
+        match self.circuit.gate(gate) {
+            GateNode::ConstTrue | GateNode::Input(_) => true,
+            GateNode::And(..) => done & want == want,
+        }
+    }
+}
+
+fn flip(p: u8) -> u8 {
+    ((p & POS) << 1) | ((p & NEG) >> 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufsat_sat::SolveResult;
+
+    fn check_equisat(mode: CnfMode) {
+        // Build (a XOR b) AND (a OR c); assert it; enumerate SAT models and
+        // compare against circuit evaluation.
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let x = c.input();
+        let ab = c.xor(a, b);
+        let ac = c.or(a, x);
+        let out = c.and(ab, ac);
+
+        let mut solver = Solver::new();
+        let map = load_into_solver(&c, &[out], &[], mode, &mut solver);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let ins = [
+            map.input_value(&solver, 0),
+            map.input_value(&solver, 1),
+            map.input_value(&solver, 2),
+        ];
+        assert!(c.eval(out, &ins), "decoded model satisfies the circuit");
+    }
+
+    #[test]
+    fn tseitin_model_satisfies_circuit() {
+        check_equisat(CnfMode::Tseitin);
+    }
+
+    #[test]
+    fn plaisted_greenbaum_model_satisfies_circuit() {
+        check_equisat(CnfMode::PlaistedGreenbaum);
+    }
+
+    #[test]
+    fn unsat_circuits_are_unsat() {
+        for mode in [CnfMode::Tseitin, CnfMode::PlaistedGreenbaum] {
+            let mut c = Circuit::new();
+            let a = c.input();
+            let b = c.input();
+            let ab = c.and(a, b);
+            let n = c.and(!a, b);
+            let both = c.and(ab, n);
+            let mut solver = Solver::new();
+            load_into_solver(&c, &[both], &[], mode, &mut solver);
+            assert_eq!(solver.solve(), SolveResult::Unsat, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn extra_clauses_constrain_inputs() {
+        for mode in [CnfMode::Tseitin, CnfMode::PlaistedGreenbaum] {
+            let mut c = Circuit::new();
+            let a = c.input();
+            let b = c.input();
+            let or = c.or(a, b);
+            // Assert (a | b) plus clauses (!a) and (!b): unsat.
+            let mut solver = Solver::new();
+            load_into_solver(&c, &[or], &[vec![!a], vec![!b]], mode, &mut solver);
+            assert_eq!(solver.solve(), SolveResult::Unsat, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn constant_assertions() {
+        let mut solver = Solver::new();
+        let c = Circuit::new();
+        load_into_solver(&c, &[Signal::TRUE], &[], CnfMode::Tseitin, &mut solver);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let mut solver2 = Solver::new();
+        load_into_solver(&c, &[Signal::FALSE], &[], CnfMode::Tseitin, &mut solver2);
+        assert_eq!(solver2.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pg_emits_fewer_clauses() {
+        let mut c = Circuit::new();
+        let inputs: Vec<Signal> = (0..8).map(|_| c.input()).collect();
+        let mut acc = Signal::TRUE;
+        for w in inputs.chunks(2) {
+            let o = c.or(w[0], w[1]);
+            acc = c.and(acc, o);
+        }
+        let mut s1 = Solver::new();
+        load_into_solver(&c, &[acc], &[], CnfMode::Tseitin, &mut s1);
+        let mut s2 = Solver::new();
+        load_into_solver(&c, &[acc], &[], CnfMode::PlaistedGreenbaum, &mut s2);
+        assert!(
+            s2.stats().original_clauses < s1.stats().original_clauses,
+            "pg={} tseitin={}",
+            s2.stats().original_clauses,
+            s1.stats().original_clauses
+        );
+        assert_eq!(s1.solve(), SolveResult::Sat);
+        assert_eq!(s2.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn exhaustive_equivalence_small_circuits() {
+        // For all assignments: circuit-sat iff cnf-sat, via enumeration with
+        // unit clauses pinning the inputs.
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let d = c.input();
+        let m = c.mux(a, b, d);
+        let x = c.xor(m, b);
+        let out = c.or(x, d);
+        for mode in [CnfMode::Tseitin, CnfMode::PlaistedGreenbaum] {
+            for bits in 0..8u32 {
+                let ins = [bits & 1 == 1, bits & 2 == 2, bits & 4 == 4];
+                let expect = c.eval(out, &ins);
+                let mut solver = Solver::new();
+                let map = load_into_solver(&c, &[out], &[], mode, &mut solver);
+                // Pin inputs that got SAT variables; unpinned inputs are
+                // irrelevant to the output value.
+                for (i, &v) in ins.iter().enumerate() {
+                    if let Some(var) = map.input_var(i) {
+                        solver.add_clause([sufsat_sat::Lit::new(var, v)]);
+                    }
+                }
+                let got = solver.solve() == SolveResult::Sat;
+                assert_eq!(got, expect, "mode {mode:?}, bits {bits:03b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Reconstruction of integer counterexamples from SAT models.
+//!
+//! SD-encoded constants read their values directly from their bit inputs;
+//! EIJ-encoded classes convert the predicate-variable assignment into bound
+//! constraints and solve them with the difference-logic engine; `V_p`
+//! constants get globally diverse, well-spaced values above everything else.
+
+use std::collections::HashMap;
+
+use sufsat_sat::Solver;
+use sufsat_seplog::{solve_with_disequalities, Bound, DiffResult, Disequality, SepAssignment};
+use sufsat_suf::VarSym;
+
+use crate::cnf::SignalMap;
+use crate::encoder::{ClassMethod, Encoded};
+
+/// Decodes a satisfying SAT model (a falsifying interpretation of the
+/// original formula) into a concrete assignment.
+///
+/// # Panics
+///
+/// Panics if an EIJ class's active bounds have no integer solution — which
+/// would indicate that the transitivity constraints were incomplete (an
+/// internal invariant, heavily tested).
+pub fn decode_model(encoded: &Encoded, map: &SignalMap, solver: &Solver) -> SepAssignment {
+    let decode = &encoded.decode;
+    let mut out = SepAssignment::default();
+
+    // Boolean symbolic constants.
+    for (&b, &input) in &decode.bool_inputs {
+        out.bools.insert(b, map.input_value(solver, input as usize));
+    }
+
+    // SD constants: read the genuine bits.
+    for (&v, bits) in &decode.sd_bits {
+        let mut value = 0i64;
+        for (i, &input) in bits.iter().enumerate() {
+            if map.input_value(solver, input as usize) {
+                value |= 1 << i;
+            }
+        }
+        out.ints.insert(v, value);
+    }
+
+    // EIJ classes: gather active bounds per class and solve.
+    let eij_class_of: HashMap<VarSym, usize> = decode
+        .class_vars
+        .iter()
+        .enumerate()
+        .filter(|&(cid, _)| decode.class_methods[cid] == ClassMethod::Eij)
+        .flat_map(|(cid, vars)| vars.iter().map(move |&v| (v, cid)))
+        .collect();
+    let mut per_class_bounds: HashMap<usize, Vec<Bound>> = HashMap::new();
+    let mut per_class_diseqs: HashMap<usize, Vec<Disequality>> = HashMap::new();
+    for (tag, &(x, y, c, input)) in decode.eij_bounds.iter().enumerate() {
+        let Some(&cid) = eij_class_of.get(&x) else {
+            continue;
+        };
+        let active = map.input_value(solver, input as usize);
+        let bound = if active {
+            Bound { x, y, c, tag }
+        } else {
+            Bound {
+                x: y,
+                y: x,
+                c: -c - 1,
+                tag,
+            }
+        };
+        per_class_bounds.entry(cid).or_default().push(bound);
+    }
+    // Equality variables (equality-only classes): true asserts the
+    // equality as a bound pair, false asserts the disequality.
+    let eq_tag_base = decode.eij_bounds.len();
+    for (i, &(x, y, c, input)) in decode.eij_eqs.iter().enumerate() {
+        let Some(&cid) = eij_class_of.get(&x) else {
+            continue;
+        };
+        let tag = eq_tag_base + i;
+        if map.input_value(solver, input as usize) {
+            per_class_bounds
+                .entry(cid)
+                .or_default()
+                .push(Bound { x, y, c, tag });
+            per_class_bounds.entry(cid).or_default().push(Bound {
+                x: y,
+                y: x,
+                c: -c,
+                tag,
+            });
+        } else {
+            per_class_diseqs
+                .entry(cid)
+                .or_default()
+                .push(Disequality { x, y, c, tag });
+        }
+    }
+    for (cid, vars) in decode.class_vars.iter().enumerate() {
+        if decode.class_methods[cid] != ClassMethod::Eij {
+            continue;
+        }
+        let bounds = per_class_bounds.remove(&cid).unwrap_or_default();
+        let diseqs = per_class_diseqs.remove(&cid).unwrap_or_default();
+        match solve_with_disequalities(&bounds, &diseqs, vars) {
+            DiffResult::Sat(model) => {
+                // Normalize so the smallest value is 0 (cosmetic).
+                let min = model.values().copied().min().unwrap_or(0);
+                for (v, val) in model {
+                    out.ints.insert(v, val - min);
+                }
+            }
+            DiffResult::Unsat(_) => panic!(
+                "EIJ model has no integer extension: transitivity \
+                 constraints are incomplete"
+            ),
+        }
+    }
+
+    // V_p constants: diverse values above everything assigned so far.
+    let stride = 2 * decode.max_abs_offset + 1;
+    let base = out.ints.values().copied().max().unwrap_or(0) + stride + 1;
+    for (i, &v) in decode.p_vars.iter().enumerate() {
+        out.ints.insert(v, base + i as i64 * stride);
+    }
+    out
+}

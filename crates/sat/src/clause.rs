@@ -1,0 +1,134 @@
+//! Clause storage for the CDCL solver.
+
+use crate::lit::Lit;
+
+/// Index of a clause inside the solver's clause database.
+pub(crate) type ClauseRef = u32;
+
+/// Sentinel meaning "no reason clause" for decision/unassigned variables.
+pub(crate) const NO_REASON: ClauseRef = u32::MAX;
+
+/// A stored clause with CDCL bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    /// Learnt (conflict) clause vs. original problem clause.
+    pub(crate) learnt: bool,
+    /// Bump-and-decay activity used by DB reduction.
+    pub(crate) activity: f64,
+    /// Literal-block distance at learning time (glue).
+    pub(crate) lbd: u32,
+    /// Tombstone flag: the slot is free for reuse.
+    pub(crate) removed: bool,
+}
+
+/// The clause database: an arena of clauses with a free list so that removed
+/// learnt clauses can be recycled without invalidating other [`ClauseRef`]s.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    free: Vec<ClauseRef>,
+    /// Live learnt-clause refs (may contain stale entries cleaned at reduce).
+    pub(crate) learnts: Vec<ClauseRef>,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    /// Allocates a clause and returns its reference.
+    pub(crate) fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        let clause = Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            lbd,
+            removed: false,
+        };
+        let cref = if let Some(cref) = self.free.pop() {
+            self.clauses[cref as usize] = clause;
+            cref
+        } else {
+            let cref = self.clauses.len() as ClauseRef;
+            self.clauses.push(clause);
+            cref
+        };
+        if learnt {
+            self.learnts.push(cref);
+        }
+        cref
+    }
+
+    /// Marks a clause removed and recycles its slot.
+    pub(crate) fn remove(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        debug_assert!(!c.removed, "double removal of clause {cref}");
+        c.removed = true;
+        c.lits.clear();
+        self.free.push(cref);
+    }
+
+    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref as usize]
+    }
+
+    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref as usize]
+    }
+
+    /// Number of live clauses.
+    pub(crate) fn len(&self) -> usize {
+        self.clauses.len() - self.free.len()
+    }
+
+    /// Number of allocated slots (live or tombstoned); valid [`ClauseRef`]s
+    /// are below this.
+    pub(crate) fn raw_len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of live learnt clauses.
+    pub(crate) fn num_learnts(&self) -> usize {
+        self.learnts
+            .iter()
+            .filter(|&&c| !self.clauses[c as usize].removed && self.clauses[c as usize].learnt)
+            .count()
+    }
+}
+
+/// A watch-list entry: the clause plus a cached "blocker" literal whose truth
+/// makes visiting the clause unnecessary.
+#[derive(Debug, Copy, Clone)]
+pub(crate) struct Watcher {
+    pub(crate) cref: ClauseRef,
+    pub(crate) blocker: Lit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&x| Lit::new(Var::from_index(x.unsigned_abs() as usize), x > 0))
+            .collect()
+    }
+
+    #[test]
+    fn alloc_and_recycle() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), false, 0);
+        let b = db.alloc(lits(&[2, 3]), true, 2);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.num_learnts(), 1);
+        db.remove(b);
+        assert_eq!(db.len(), 1);
+        let c = db.alloc(lits(&[4]), false, 0);
+        assert_eq!(c, b, "freed slot is recycled");
+        assert_eq!(db.len(), 2);
+        assert!(!db.get(a).removed);
+        assert_eq!(db.get(c).lits, lits(&[4]));
+    }
+}

@@ -1,0 +1,243 @@
+//! DIMACS CNF parsing and emission.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::lit::{Lit, Var};
+
+/// A CNF formula in memory: a variable count plus clauses of literals.
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_sat::dimacs::Cnf;
+///
+/// let cnf = Cnf::parse("p cnf 2 2\n1 -2 0\n2 0\n".as_bytes())?;
+/// assert_eq!(cnf.num_vars, 2);
+/// assert_eq!(cnf.clauses.len(), 2);
+/// # Ok::<(), sufsat_sat::dimacs::ParseDimacsError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables declared in the problem line.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Error produced when DIMACS input is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl ParseDimacsError {
+    fn new(line: usize, message: impl Into<String>) -> ParseDimacsError {
+        ParseDimacsError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+impl Cnf {
+    /// Creates an empty CNF.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Parses DIMACS CNF text from a reader.
+    ///
+    /// Accepts comment lines (`c ...`), requires a `p cnf <vars> <clauses>`
+    /// problem line before any clause, and clauses terminated by `0`.
+    /// The declared clause count is checked against the actual count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed input (missing or duplicate
+    /// problem line, bad integers, out-of-range variables, unterminated
+    /// clauses, or count mismatches).
+    pub fn parse<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
+        let mut num_vars: Option<usize> = None;
+        let mut declared_clauses = 0usize;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = line.map_err(|e| ParseDimacsError::new(lineno, format!("io error: {e}")))?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                if num_vars.is_some() {
+                    return Err(ParseDimacsError::new(lineno, "duplicate problem line"));
+                }
+                let mut parts = rest.split_whitespace();
+                if parts.next() != Some("cnf") {
+                    return Err(ParseDimacsError::new(lineno, "expected `p cnf`"));
+                }
+                let nv = parts
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| ParseDimacsError::new(lineno, "bad variable count"))?;
+                let nc = parts
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| ParseDimacsError::new(lineno, "bad clause count"))?;
+                if parts.next().is_some() {
+                    return Err(ParseDimacsError::new(
+                        lineno,
+                        "trailing tokens on problem line",
+                    ));
+                }
+                num_vars = Some(nv);
+                declared_clauses = nc;
+                continue;
+            }
+            let nv = num_vars
+                .ok_or_else(|| ParseDimacsError::new(lineno, "clause before problem line"))?;
+            for tok in line.split_whitespace() {
+                let x: i64 = tok
+                    .parse()
+                    .map_err(|_| ParseDimacsError::new(lineno, format!("bad literal `{tok}`")))?;
+                if x == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let v = x.unsigned_abs() as usize;
+                    if v > nv {
+                        return Err(ParseDimacsError::new(
+                            lineno,
+                            format!("variable {v} exceeds declared count {nv}"),
+                        ));
+                    }
+                    current.push(Lit::new(Var::from_index(v - 1), x > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(ParseDimacsError::new(0, "unterminated final clause"));
+        }
+        let num_vars = num_vars.ok_or_else(|| ParseDimacsError::new(0, "missing problem line"))?;
+        if clauses.len() != declared_clauses {
+            return Err(ParseDimacsError::new(
+                0,
+                format!(
+                    "declared {declared_clauses} clauses but found {}",
+                    clauses.len()
+                ),
+            ));
+        }
+        Ok(Cnf { num_vars, clauses })
+    }
+
+    /// Writes this CNF in DIMACS format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "p cnf {} {}", self.num_vars, self.clauses.len())?;
+        for clause in &self.clauses {
+            for &l in clause {
+                let v = l.var().index() as i64 + 1;
+                let x = if l.is_positive() { v } else { -v };
+                write!(writer, "{x} ")?;
+            }
+            writeln!(writer, "0")?;
+        }
+        Ok(())
+    }
+
+    /// Loads this CNF into a fresh [`Solver`](crate::Solver).
+    pub fn to_solver(&self) -> crate::Solver {
+        let mut solver = crate::Solver::new();
+        solver.reserve_vars(self.num_vars);
+        for clause in &self.clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Cnf, ParseDimacsError> {
+        Cnf::parse(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_simple_cnf() {
+        let cnf = parse("c a comment\np cnf 3 2\n1 -2 0\n3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].len(), 2);
+        assert!(cnf.clauses[0][0].is_positive());
+        assert!(!cnf.clauses[0][1].is_positive());
+    }
+
+    #[test]
+    fn clause_may_span_lines() {
+        let cnf = parse("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn rejects_missing_problem_line() {
+        assert!(parse("1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        assert!(parse("p cnf 2 1\n1 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_variable() {
+        assert!(parse("p cnf 1 1\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        assert!(parse("p cnf 2 2\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_problem_line() {
+        assert!(parse("p cnf 1 0\np cnf 1 0\n").is_err());
+    }
+
+    #[test]
+    fn round_trips() {
+        let cnf = parse("p cnf 4 3\n1 -2 0\n-3 4 0\n2 0\n").unwrap();
+        let mut out = Vec::new();
+        cnf.write(&mut out).unwrap();
+        let again = Cnf::parse(out.as_slice()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn to_solver_solves() {
+        let cnf = parse("p cnf 2 2\n1 0\n-1 2 0\n").unwrap();
+        let mut s = cnf.to_solver();
+        assert_eq!(s.solve(), crate::SolveResult::Sat);
+        assert_eq!(s.model_value(crate::Var::from_index(0)), Some(true));
+        assert_eq!(s.model_value(crate::Var::from_index(1)), Some(true));
+    }
+}

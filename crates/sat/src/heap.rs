@@ -1,0 +1,152 @@
+//! Indexed binary max-heap ordering variables by VSIDS activity.
+
+use crate::lit::Var;
+
+/// A binary max-heap over variables keyed by an external activity table.
+///
+/// Supports `O(log n)` insertion and removal plus `decrease`/`increase`
+/// notifications when a variable's activity changes, which is what the VSIDS
+/// decision heuristic needs.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `NONE` if absent.
+    position: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl VarHeap {
+    pub(crate) fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Registers storage for one more variable (does not insert it).
+    pub(crate) fn grow_to(&mut self, n_vars: usize) {
+        self.position.resize(n_vars, NONE);
+    }
+
+    pub(crate) fn contains(&self, v: Var) -> bool {
+        self.position[v.index()] != NONE
+    }
+
+    /// Inserts `v`; no-op if already present.
+    pub(crate) fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.position[v.index()] = self.heap.len() as u32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub(crate) fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top.index()] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub(crate) fn update(&mut self, v: Var, activity: &[f64]) {
+        let pos = self.position[v.index()];
+        if pos != NONE {
+            self.sift_up(pos as usize, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut best = i;
+            if left < self.heap.len()
+                && activity[self.heap[left].index()] > activity[self.heap[best].index()]
+            {
+                best = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[best].index()]
+            {
+                best = right;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].index()] = i as u32;
+        self.position[self.heap[j].index()] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(5);
+        for i in 0..5 {
+            heap.insert(v(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop(&activity))
+            .map(Var::index)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn double_insert_is_noop() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(2);
+        heap.insert(v(0), &activity);
+        heap.insert(v(0), &activity);
+        heap.insert(v(1), &activity);
+        assert_eq!(heap.pop(&activity), Some(v(1)));
+        assert_eq!(heap.pop(&activity), Some(v(0)));
+        assert_eq!(heap.pop(&activity), None);
+    }
+
+    #[test]
+    fn update_reorders_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(3);
+        for i in 0..3 {
+            heap.insert(v(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.update(v(0), &activity);
+        assert_eq!(heap.pop(&activity), Some(v(0)));
+    }
+}

@@ -1,0 +1,207 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This crate is the Boolean-satisfiability substrate of the `sufsat`
+//! reproduction of *"A Hybrid SAT-Based Decision Procedure for Separation
+//! Logic with Uninterpreted Functions"* (Seshia, Lahiri, Bryant — DAC 2003).
+//! The paper's experiments used the zChaff solver; this crate provides a
+//! from-scratch solver in the same lineage: two-watched-literal propagation,
+//! VSIDS decisions with phase saving, first-UIP conflict learning with clause
+//! minimization, Luby restarts, and learnt-database reduction.
+//!
+//! The statistics it exposes ([`Stats`]) mirror the columns of the paper's
+//! Figure 2: number of CNF clauses, number of conflict clauses, and SAT time.
+//!
+//! # Examples
+//!
+//! ```
+//! use sufsat_sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! // (x | y) & (!x | y) & (!y | !x)
+//! solver.add_clause([x.positive(), y.positive()]);
+//! solver.add_clause([x.negative(), y.positive()]);
+//! solver.add_clause([y.negative(), x.negative()]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.model_value(y), Some(true));
+//! assert_eq!(solver.model_value(x), Some(false));
+//! ```
+
+#![warn(missing_docs)]
+
+mod clause;
+mod heap;
+mod lit;
+mod solver;
+mod stats;
+
+pub mod proof;
+
+pub mod dimacs;
+
+pub use lit::{LBool, Lit, Var};
+pub use proof::{check_refutation, Proof, ProofStep};
+pub use solver::{Config, Interrupt, SolveResult, Solver};
+pub use stats::Stats;
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force satisfiability over up to 16 variables.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+        assert!(num_vars <= 16);
+        'outer: for m in 0u32..(1 << num_vars) {
+            for c in clauses {
+                if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+        prop::collection::vec((0..num_vars, any::<bool>()), 1..=4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn solver_agrees_with_brute_force(
+            num_vars in 1usize..=8,
+            seed_clauses in prop::collection::vec(clause_strategy(8), 0..24),
+        ) {
+            let clauses: Vec<Vec<(usize, bool)>> = seed_clauses
+                .into_iter()
+                .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
+                .collect();
+            let expected = brute_force_sat(num_vars, &clauses);
+            let mut solver = Solver::new();
+            solver.reserve_vars(num_vars);
+            for c in &clauses {
+                solver.add_clause(
+                    c.iter().map(|&(v, p)| Lit::new(Var::from_index(v), p)),
+                );
+            }
+            let result = solver.solve();
+            prop_assert_eq!(result == SolveResult::Sat, expected);
+            if result == SolveResult::Sat {
+                // The model must satisfy every clause.
+                for c in &clauses {
+                    let satisfied = c
+                        .iter()
+                        .any(|&(v, p)| solver.model_value(Var::from_index(v)) == Some(p));
+                    prop_assert!(satisfied);
+                }
+            }
+        }
+
+        /// Solving under assumptions matches solving with the assumptions
+        /// added as unit clauses.
+        #[test]
+        fn assumptions_match_unit_clauses(
+            num_vars in 1usize..=6,
+            seed_clauses in prop::collection::vec(clause_strategy(6), 0..16),
+            raw_assumptions in prop::collection::vec((0usize..6, any::<bool>()), 0..4),
+        ) {
+            let clauses: Vec<Vec<(usize, bool)>> = seed_clauses
+                .into_iter()
+                .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
+                .collect();
+            let mut assumptions: Vec<(usize, bool)> = raw_assumptions
+                .into_iter()
+                .map(|(v, p)| (v % num_vars, p))
+                .collect();
+            // Contradictory assumption pairs are legal; keep them.
+            assumptions.dedup();
+            let as_lit = |&(v, p): &(usize, bool)| Lit::new(Var::from_index(v), p);
+
+            let mut s1 = Solver::new();
+            s1.reserve_vars(num_vars);
+            for c in &clauses {
+                s1.add_clause(c.iter().map(as_lit));
+            }
+            let lits: Vec<Lit> = assumptions.iter().map(as_lit).collect();
+            let under_assumptions = s1.solve_with_assumptions(&lits);
+
+            let mut s2 = Solver::new();
+            s2.reserve_vars(num_vars);
+            for c in &clauses {
+                s2.add_clause(c.iter().map(as_lit));
+            }
+            let mut consistent = true;
+            for l in &lits {
+                consistent &= s2.add_clause([*l]);
+            }
+            let with_units = if consistent { s2.solve() } else { SolveResult::Unsat };
+            prop_assert_eq!(
+                under_assumptions == SolveResult::Sat,
+                with_units == SolveResult::Sat
+            );
+        }
+
+        /// Every UNSAT answer carries a DRAT proof that the built-in
+        /// forward RUP checker accepts.
+        #[test]
+        fn unsat_proofs_check(
+            num_vars in 1usize..=6,
+            seed_clauses in prop::collection::vec(clause_strategy(6), 1..22),
+        ) {
+            let clauses: Vec<Vec<(usize, bool)>> = seed_clauses
+                .into_iter()
+                .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
+                .collect();
+            let mut solver = Solver::new();
+            solver.enable_proof();
+            solver.reserve_vars(num_vars);
+            let as_lits = |c: &Vec<(usize, bool)>| -> Vec<Lit> {
+                c.iter().map(|&(v, p)| Lit::new(Var::from_index(v), p)).collect()
+            };
+            for c in &clauses {
+                solver.add_clause(as_lits(c));
+            }
+            if solver.solve() == SolveResult::Unsat {
+                let proof = solver.proof().expect("logging enabled");
+                prop_assert!(proof.is_refutation());
+                let original: Vec<Vec<Lit>> = clauses.iter().map(as_lits).collect();
+                prop_assert!(
+                    check_refutation(&original, proof),
+                    "DRAT proof failed forward checking"
+                );
+            }
+        }
+
+        #[test]
+        fn incremental_matches_monolithic(
+            num_vars in 1usize..=6,
+            batch1 in prop::collection::vec(clause_strategy(6), 0..10),
+            batch2 in prop::collection::vec(clause_strategy(6), 0..10),
+        ) {
+            let norm = |cs: Vec<Vec<(usize, bool)>>| -> Vec<Vec<(usize, bool)>> {
+                cs.into_iter()
+                    .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
+                    .collect()
+            };
+            let batch1 = norm(batch1);
+            let batch2 = norm(batch2);
+            let all: Vec<_> = batch1.iter().chain(batch2.iter()).cloned().collect();
+            let expected = brute_force_sat(num_vars, &all);
+
+            let mut solver = Solver::new();
+            solver.reserve_vars(num_vars);
+            for c in &batch1 {
+                solver.add_clause(c.iter().map(|&(v, p)| Lit::new(Var::from_index(v), p)));
+            }
+            let _ = solver.solve();
+            for c in &batch2 {
+                solver.add_clause(c.iter().map(|&(v, p)| Lit::new(Var::from_index(v), p)));
+            }
+            prop_assert_eq!(solver.solve() == SolveResult::Sat, expected);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Propositional variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense non-negative index.
+///
+/// Variables are created by [`Solver::new_var`](crate::Solver::new_var); the
+/// solver hands them out in increasing index order starting from 0.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    ///
+    /// Mostly useful when decoding external formats (e.g. DIMACS) whose
+    /// variable numbering is already dense.
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index overflow"))
+    }
+
+    /// Returns the dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Internally encoded as `2 * var + sign` where `sign == 1` means negated,
+/// which makes literals directly usable as indices into watch lists.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var` that is true iff `positive` matches the
+    /// variable's assignment.
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// The variable underlying this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal of its variable.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index of the literal (`2 * var + sign`), suitable for indexing
+    /// per-literal tables such as watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from the dense index produced by [`Lit::index`].
+    pub fn from_index(index: usize) -> Lit {
+        Lit(u32::try_from(index).expect("literal index overflow"))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// Three-valued assignment state of a variable.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a concrete boolean.
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Logical negation; `Undef` stays `Undef`.
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// Whether this value is decided (not `Undef`).
+    pub fn is_assigned(self) -> bool {
+        self != LBool::Undef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var::from_index(7);
+        assert_eq!(v.index(), 7);
+        let p = v.positive();
+        let n = v.negative();
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::from_index(p.index()), p);
+        assert_eq!(Lit::from_index(n.index()), n);
+    }
+
+    #[test]
+    fn literal_indices_are_adjacent() {
+        let v = Var::from_index(3);
+        assert_eq!(v.positive().index(), 6);
+        assert_eq!(v.negative().index(), 7);
+    }
+
+    #[test]
+    fn lbool_negation() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::False.negate(), LBool::True);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert!(LBool::True.is_assigned());
+        assert!(!LBool::Undef.is_assigned());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(2);
+        assert_eq!(v.to_string(), "x2");
+        assert_eq!(v.positive().to_string(), "x2");
+        assert_eq!(v.negative().to_string(), "!x2");
+    }
+}

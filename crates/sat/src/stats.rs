@@ -1,0 +1,79 @@
+//! Solver statistics, mirroring the measurements reported in the paper's
+//! Figure 2 (CNF clause count, conflict-clause count, SAT time).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters accumulated by [`Solver`](crate::Solver) across `solve` calls.
+#[derive(Debug, Default, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct Stats {
+    /// Number of conflicts encountered (== conflict clauses derived; the
+    /// paper's "Conflict Clauses" column).
+    pub conflicts: u64,
+    /// Learnt clauses actually stored in the database (unit learnt clauses
+    /// are asserted directly and not stored).
+    pub learnt_clauses: u64,
+    /// Total literals in learnt clauses after minimization.
+    pub learnt_literals: u64,
+    /// Decision count.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt-database reductions performed.
+    pub reductions: u64,
+    /// Original (problem) clauses added, after top-level simplification;
+    /// the paper's "# of CNF Clauses" column.
+    pub original_clauses: u64,
+    /// Wall-clock time spent inside `solve`.
+    pub solve_time: Duration,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clauses={} conflicts={} decisions={} propagations={} restarts={} time={:?}",
+            self.original_clauses,
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+            self.solve_time
+        )
+    }
+}
+
+/// Computes the `i`-th element (1-based) of the Luby restart sequence
+/// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+pub(crate) fn luby(index: u64) -> u64 {
+    // Find the finite subsequence containing the index and the position
+    // within it.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < index + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = index;
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix_matches_reference() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,492 @@
+//! Equivalence classes, small-model domain sizes and SepCnt estimation
+//! (paper §4, steps 1–3 of the hybrid method).
+
+use std::collections::{HashMap, HashSet};
+
+use sufsat_suf::{Term, TermId, TermManager, VarSym};
+
+use crate::ground::{GroundInfo, GroundTerm};
+
+/// The two atom kinds of separation logic.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum AtomOp {
+    /// Equality `lhs = rhs`.
+    Eq,
+    /// Strict inequality `lhs < rhs`.
+    Lt,
+}
+
+/// One atomic comparison occurring in a separation formula.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The atom's own term id.
+    pub id: TermId,
+    /// Equality or strict inequality.
+    pub op: AtomOp,
+    /// Left integer term.
+    pub lhs: TermId,
+    /// Right integer term.
+    pub rhs: TermId,
+}
+
+/// Collects all `Eq`/`Lt` atoms reachable from `root`.
+pub fn collect_atoms(tm: &TermManager, root: TermId) -> Vec<Atom> {
+    let mut out = Vec::new();
+    for id in tm.postorder(root) {
+        match tm.term(id) {
+            Term::Eq(a, b) => out.push(Atom {
+                id,
+                op: AtomOp::Eq,
+                lhs: *a,
+                rhs: *b,
+            }),
+            Term::Lt(a, b) => out.push(Atom {
+                id,
+                op: AtomOp::Lt,
+                lhs: *a,
+                rhs: *b,
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// A normalized separation predicate over two distinct `V_g` constants.
+///
+/// `Eq(a, b, c)` means `a = b + c` with `a < b` by symbol order;
+/// `Le(a, b, c)` means `a - b <= c` (derived from strict `<` atoms).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredKey {
+    /// `a = b + c`, `a < b` canonically.
+    Eq(VarSym, VarSym, i64),
+    /// `a - b <= c`.
+    Le(VarSym, VarSym, i64),
+}
+
+impl PredKey {
+    /// Normalizes the equality `(v1 + k1) = (v2 + k2)`.
+    ///
+    /// Returns `None` if the two ground terms share the variable (the atom
+    /// is then a constant, not a separation predicate).
+    pub fn equality(g1: GroundTerm, g2: GroundTerm) -> Option<PredKey> {
+        if g1.var == g2.var {
+            return None;
+        }
+        let (a, b) = if g1.var < g2.var { (g1, g2) } else { (g2, g1) };
+        // a.var + a.offset = b.var + b.offset  <=>  a.var = b.var + c
+        Some(PredKey::Eq(a.var, b.var, b.offset - a.offset))
+    }
+
+    /// Normalizes the strict inequality `(v1 + k1) < (v2 + k2)` into the
+    /// bound `v1 - v2 <= c`.
+    pub fn less_than(g1: GroundTerm, g2: GroundTerm) -> Option<PredKey> {
+        if g1.var == g2.var {
+            return None;
+        }
+        Some(PredKey::Le(g1.var, g2.var, g2.offset - g1.offset - 1))
+    }
+
+    /// The pair of variables the predicate relates.
+    pub fn vars(self) -> (VarSym, VarSym) {
+        match self {
+            PredKey::Eq(a, b, _) | PredKey::Le(a, b, _) => (a, b),
+        }
+    }
+}
+
+/// One equivalence class of `V_g` symbolic constants (paper §4 step 1).
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// Members, in symbol order.
+    pub vars: Vec<VarSym>,
+    /// Small-model range `Σ_{v∈class} (u(v) - l(v) + 1)` (paper step 2).
+    pub range: u64,
+    /// Upper bound on the number of separation predicates relating two
+    /// members of this class (paper step 3).
+    pub sep_cnt: usize,
+    /// The distinct normalized predicates counted by `sep_cnt`.
+    pub predicates: Vec<PredKey>,
+}
+
+/// Complete structural analysis of a separation formula: ground-term leaves,
+/// variable classes, small-model domain sizes, and per-class SepCnt.
+#[derive(Debug, Clone)]
+pub struct SepAnalysis {
+    /// Ground-term leaf sets.
+    pub ground: GroundInfo,
+    /// The atoms of the formula.
+    pub atoms: Vec<Atom>,
+    /// The equivalence classes over `V_g`.
+    pub classes: Vec<Class>,
+    /// Class index of each `V_g` constant.
+    class_of: HashMap<VarSym, usize>,
+    /// Maximum positive offset `u(v)` per constant.
+    upper: HashMap<VarSym, i64>,
+    /// Minimum offset `l(v)` per constant.
+    lower: HashMap<VarSym, i64>,
+    /// `V_p` constants appearing in the formula.
+    pub p_vars: HashSet<VarSym>,
+    /// Largest absolute offset appearing anywhere (for diversity spacing).
+    pub max_abs_offset: i64,
+}
+
+impl SepAnalysis {
+    /// Analyzes an application-free formula.
+    ///
+    /// `p_vars` is the `V_p` classification produced by
+    /// [`eliminate`](sufsat_suf::eliminate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula still contains applications.
+    pub fn new(tm: &TermManager, root: TermId, p_vars: &HashSet<VarSym>) -> SepAnalysis {
+        let ground = GroundInfo::compute(tm, root);
+        let atoms = collect_atoms(tm, root);
+
+        // Gather every leaf to compute u/l and the variable universe.
+        let mut upper: HashMap<VarSym, i64> = HashMap::new();
+        let mut lower: HashMap<VarSym, i64> = HashMap::new();
+        let mut max_abs_offset = 0i64;
+        // u(v) is "the maximum amount v can be incremented" and l(v) the
+        // minimum: the variable's own position (offset 0) is always part of
+        // its span, so u >= 0 >= l.
+        let mut note_leaf = |g: GroundTerm| {
+            let u = upper.entry(g.var).or_insert(0);
+            *u = (*u).max(g.offset);
+            let l = lower.entry(g.var).or_insert(0);
+            *l = (*l).min(g.offset);
+            max_abs_offset = max_abs_offset.max(g.offset.abs());
+        };
+        for atom in &atoms {
+            for &side in &[atom.lhs, atom.rhs] {
+                for &g in ground.leaves(side) {
+                    note_leaf(g);
+                }
+            }
+        }
+
+        // Union-find over V_g constants: all g-constants under one atom
+        // share a class (this folds the paper's ITE dependency-set merging
+        // together with the per-atom merging).
+        let occurring: Vec<VarSym> = {
+            let mut v: Vec<VarSym> = upper.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let p_present: HashSet<VarSym> = occurring
+            .iter()
+            .copied()
+            .filter(|v| p_vars.contains(v))
+            .collect();
+        let mut uf = UnionFind::new(tm.num_int_vars());
+        for atom in &atoms {
+            let mut first: Option<VarSym> = None;
+            for &side in &[atom.lhs, atom.rhs] {
+                for g in ground.leaves(side) {
+                    if p_vars.contains(&g.var) {
+                        continue;
+                    }
+                    match first {
+                        None => first = Some(g.var),
+                        Some(f) => uf.union(f.index(), g.var.index()),
+                    }
+                }
+            }
+        }
+
+        // Build classes.
+        let mut class_index: HashMap<usize, usize> = HashMap::new();
+        let mut classes: Vec<Class> = Vec::new();
+        let mut class_of: HashMap<VarSym, usize> = HashMap::new();
+        for &v in &occurring {
+            if p_vars.contains(&v) {
+                continue;
+            }
+            let rep = uf.find(v.index());
+            let idx = *class_index.entry(rep).or_insert_with(|| {
+                classes.push(Class {
+                    vars: Vec::new(),
+                    range: 0,
+                    sep_cnt: 0,
+                    predicates: Vec::new(),
+                });
+                classes.len() - 1
+            });
+            classes[idx].vars.push(v);
+            class_of.insert(v, idx);
+        }
+        for class in &mut classes {
+            class.range = class
+                .vars
+                .iter()
+                .map(|v| (upper[v] - lower[v] + 1) as u64)
+                .sum();
+        }
+
+        // SepCnt: distinct normalized predicates per class, over all pairs
+        // of ground leaves of each atom (an upper bound — pairs that vanish
+        // after ITE elimination are still counted, as in the paper).
+        let mut per_class_preds: Vec<HashSet<PredKey>> = vec![HashSet::new(); classes.len()];
+        for atom in &atoms {
+            for &g1 in ground.leaves(atom.lhs) {
+                for &g2 in ground.leaves(atom.rhs) {
+                    if p_vars.contains(&g1.var) || p_vars.contains(&g2.var) {
+                        continue;
+                    }
+                    let key = match atom.op {
+                        AtomOp::Eq => PredKey::equality(g1, g2),
+                        AtomOp::Lt => PredKey::less_than(g1, g2),
+                    };
+                    if let Some(key) = key {
+                        let idx = class_of[&key.vars().0];
+                        debug_assert_eq!(idx, class_of[&key.vars().1]);
+                        per_class_preds[idx].insert(key);
+                    }
+                }
+            }
+        }
+        for (class, preds) in classes.iter_mut().zip(per_class_preds) {
+            class.sep_cnt = preds.len();
+            let mut sorted: Vec<PredKey> = preds.into_iter().collect();
+            sorted.sort_unstable();
+            class.predicates = sorted;
+        }
+
+        SepAnalysis {
+            ground,
+            atoms,
+            classes,
+            class_of,
+            upper,
+            lower,
+            p_vars: p_present,
+            max_abs_offset,
+        }
+    }
+
+    /// Class index of a `V_g` constant, if it occurs in the formula.
+    pub fn class_of(&self, v: VarSym) -> Option<usize> {
+        self.class_of.get(&v).copied()
+    }
+
+    /// Maximum offset `u(v)` over ground terms mentioning `v`.
+    pub fn upper_offset(&self, v: VarSym) -> Option<i64> {
+        self.upper.get(&v).copied()
+    }
+
+    /// Minimum offset `l(v)` over ground terms mentioning `v`.
+    pub fn lower_offset(&self, v: VarSym) -> Option<i64> {
+        self.lower.get(&v).copied()
+    }
+
+    /// Total number of distinct separation predicates across all classes —
+    /// the formula feature the paper's Figure 3 sweeps.
+    pub fn total_sep_predicates(&self) -> usize {
+        self.classes.iter().map(|c| c.sep_cnt).sum()
+    }
+
+    /// All `V_g` constants occurring in the formula, in symbol order.
+    pub fn g_vars(&self) -> Vec<VarSym> {
+        let mut v: Vec<VarSym> = self.class_of.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Union-find with path compression and union by rank.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use sufsat_suf::TermManager;
+
+    fn no_p() -> HashSet<VarSym> {
+        HashSet::new()
+    }
+
+    #[test]
+    fn classes_split_unrelated_variables() {
+        let mut tm = TermManager::new();
+        let a = tm.int_var("a");
+        let b = tm.int_var("b");
+        let c = tm.int_var("c");
+        let d = tm.int_var("d");
+        let ab = tm.mk_lt(a, b);
+        let cd = tm.mk_eq(c, d);
+        let phi = tm.mk_and(ab, cd);
+        let an = SepAnalysis::new(&tm, phi, &no_p());
+        assert_eq!(an.classes.len(), 2);
+        assert_eq!(
+            an.class_of(tm.find_int_var("a").unwrap()),
+            an.class_of(tm.find_int_var("b").unwrap())
+        );
+        assert_ne!(
+            an.class_of(tm.find_int_var("a").unwrap()),
+            an.class_of(tm.find_int_var("c").unwrap())
+        );
+    }
+
+    #[test]
+    fn ite_merges_branch_classes() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let cb = tm.bool_var("cb");
+        let ite = tm.mk_ite_int(cb, y, z);
+        let phi = tm.mk_eq(x, ite);
+        let an = SepAnalysis::new(&tm, phi, &no_p());
+        assert_eq!(an.classes.len(), 1);
+        assert_eq!(an.classes[0].vars.len(), 3);
+        let _ = (x, y, z);
+    }
+
+    #[test]
+    fn domain_ranges_follow_the_paper_formula() {
+        // Ground terms for v: {v-4, v-2, v, v+3, v+7} -> u=7, l=-4,
+        // span 12; for w: {w} -> span 1. Same class via v < w.
+        let mut tm = TermManager::new();
+        let v = tm.int_var("v");
+        let w = tm.int_var("w");
+        let terms = [-4i64, -2, 0, 3, 7];
+        let mut conj = Vec::new();
+        for k in terms {
+            let t = tm.mk_offset(v, k);
+            conj.push(tm.mk_lt(t, w));
+        }
+        let phi = tm.mk_and_many(&conj);
+        let an = SepAnalysis::new(&tm, phi, &no_p());
+        let vs = tm.find_int_var("v").unwrap();
+        assert_eq!(an.upper_offset(vs), Some(7));
+        assert_eq!(an.lower_offset(vs), Some(-4));
+        assert_eq!(an.classes.len(), 1);
+        assert_eq!(an.classes[0].range, 12 + 1);
+    }
+
+    #[test]
+    fn sep_cnt_counts_distinct_normalized_predicates() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        // x < y, y > x (same predicate after normalization? No: x < y is
+        // x-y <= -1; y > x is the same atom because mk_gt desugars to
+        // mk_lt(x, y)), and x < y+1 is a different bound.
+        let a1 = tm.mk_lt(x, y);
+        let a2 = tm.mk_gt(y, x); // identical atom
+        let sy = tm.mk_succ(y);
+        let a3 = tm.mk_lt(x, sy);
+        let t12 = tm.mk_and(a1, a2);
+        let phi = tm.mk_and(t12, a3);
+        let an = SepAnalysis::new(&tm, phi, &no_p());
+        assert_eq!(an.classes.len(), 1);
+        assert_eq!(an.classes[0].sep_cnt, 2);
+    }
+
+    #[test]
+    fn equalities_normalize_orientation() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        // x = y + 2 and y + 2 = x are the same predicate; x = y - 1 differs.
+        let y2 = tm.mk_offset(y, 2);
+        let a1 = tm.mk_eq(x, y2);
+        let a2 = tm.mk_eq(y2, x);
+        let ym1 = tm.mk_offset(y, -1);
+        let a3 = tm.mk_eq(x, ym1);
+        let t = tm.mk_and(a1, a2);
+        let phi = tm.mk_and(t, a3);
+        let an = SepAnalysis::new(&tm, phi, &no_p());
+        assert_eq!(an.classes[0].sep_cnt, 2);
+    }
+
+    #[test]
+    fn p_vars_do_not_join_classes_or_sepcnt() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let p = tm.int_var("p");
+        let mut p_vars = HashSet::new();
+        p_vars.insert(tm.find_int_var("p").unwrap());
+        let a1 = tm.mk_eq(x, p); // p-mixed: constant under diversity
+        let a2 = tm.mk_lt(x, y);
+        let phi = tm.mk_and(a1, a2);
+        let an = SepAnalysis::new(&tm, phi, &p_vars);
+        assert_eq!(an.classes.len(), 1);
+        assert_eq!(an.classes[0].vars.len(), 2);
+        assert_eq!(an.classes[0].sep_cnt, 1);
+        assert!(an.p_vars.contains(&tm.find_int_var("p").unwrap()));
+    }
+
+    #[test]
+    fn ite_pairs_inflate_sepcnt_as_an_upper_bound() {
+        // ITE(c, a, b) = d contributes pairs (a,d) and (b,d).
+        let mut tm = TermManager::new();
+        let a = tm.int_var("a");
+        let b = tm.int_var("b");
+        let d = tm.int_var("d");
+        let cb = tm.bool_var("cb");
+        let ite = tm.mk_ite_int(cb, a, b);
+        let phi = tm.mk_eq(ite, d);
+        let an = SepAnalysis::new(&tm, phi, &no_p());
+        assert_eq!(an.classes[0].sep_cnt, 2);
+        assert_eq!(an.total_sep_predicates(), 2);
+    }
+
+    #[test]
+    fn same_var_comparisons_are_not_predicates() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let x1 = tm.mk_succ(x);
+        let phi = tm.mk_lt(x, x1);
+        let an = SepAnalysis::new(&tm, phi, &no_p());
+        // x < x+1 involves a single variable: no separation predicate, and
+        // x forms a singleton class.
+        assert_eq!(an.total_sep_predicates(), 0);
+        assert_eq!(an.classes.len(), 1);
+    }
+}

@@ -1,0 +1,524 @@
+//! Integer difference-logic solving.
+//!
+//! Conjunctions of separation predicates reduce to *bound constraints*
+//! `x − y ≤ c`, which are satisfiable over the integers iff the constraint
+//! graph has no negative cycle (the paper notes that SVC is strong on such
+//! conjunctions precisely because they reduce to a shortest-path problem).
+//! Disequalities `x − y ≠ c` make the problem NP-hard; they are handled by
+//! recursive case splitting.
+//!
+//! The solver returns models (used for counterexample reconstruction from
+//! EIJ encodings) and minimal negative-cycle explanations (used by the lazy
+//! CVC-style baseline to build conflict clauses).
+
+use std::collections::HashMap;
+
+use sufsat_suf::VarSym;
+
+/// A bound constraint `x − y ≤ c` tagged with a caller-chosen label.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct Bound {
+    /// Minuend variable.
+    pub x: VarSym,
+    /// Subtrahend variable.
+    pub y: VarSym,
+    /// The bound.
+    pub c: i64,
+    /// Caller-chosen tag, reported back in explanations.
+    pub tag: usize,
+}
+
+/// A disequality `x − y ≠ c` tagged with a caller-chosen label.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct Disequality {
+    /// Minuend variable.
+    pub x: VarSym,
+    /// Subtrahend variable.
+    pub y: VarSym,
+    /// The excluded difference.
+    pub c: i64,
+    /// Caller-chosen tag, reported back in explanations.
+    pub tag: usize,
+}
+
+/// Outcome of a difference-logic query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffResult {
+    /// Satisfiable, with a concrete integer model.
+    Sat(HashMap<VarSym, i64>),
+    /// Unsatisfiable; the tags of a (locally minimal) conflicting subset.
+    Unsat(Vec<usize>),
+}
+
+/// Decides a conjunction of bound constraints by negative-cycle detection
+/// (Bellman–Ford from a virtual source).
+///
+/// On success the model assigns every variable mentioned in `bounds` (and
+/// every variable in `extra_vars`) an integer value satisfying all bounds.
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_seplog::{solve_bounds, Bound, DiffResult};
+/// use sufsat_suf::TermManager;
+///
+/// let mut tm = TermManager::new();
+/// let x = tm.int_var_sym("x");
+/// let y = tm.int_var_sym("y");
+/// // x - y <= -1 (x < y) and y - x <= -1 (y < x): a negative cycle.
+/// let bounds = [
+///     Bound { x, y, c: -1, tag: 0 },
+///     Bound { x: y, y: x, c: -1, tag: 1 },
+/// ];
+/// let DiffResult::Unsat(core) = solve_bounds(&bounds, &[]) else {
+///     panic!("expected unsat");
+/// };
+/// assert_eq!(core, vec![0, 1]);
+/// ```
+pub fn solve_bounds(bounds: &[Bound], extra_vars: &[VarSym]) -> DiffResult {
+    // Dense-index the variables.
+    let mut index: HashMap<VarSym, usize> = HashMap::new();
+    let mut vars: Vec<VarSym> = Vec::new();
+    let intern = |v: VarSym, index: &mut HashMap<VarSym, usize>, vars: &mut Vec<VarSym>| {
+        *index.entry(v).or_insert_with(|| {
+            vars.push(v);
+            vars.len() - 1
+        })
+    };
+    // Edge y -> x with weight c encodes x - y <= c (d[x] <= d[y] + c).
+    let mut edges: Vec<(usize, usize, i64, usize)> = Vec::new();
+    for b in bounds {
+        let xi = intern(b.x, &mut index, &mut vars);
+        let yi = intern(b.y, &mut index, &mut vars);
+        edges.push((yi, xi, b.c, b.tag));
+    }
+    for &v in extra_vars {
+        intern(v, &mut index, &mut vars);
+    }
+    let n = vars.len();
+    if n == 0 {
+        return DiffResult::Sat(HashMap::new());
+    }
+
+    // Bellman–Ford with all distances initialized to 0 (implicit source).
+    let mut dist = vec![0i64; n];
+    let mut pred_edge: Vec<Option<usize>> = vec![None; n];
+    let mut changed_node = None;
+    for round in 0..n {
+        let mut changed = false;
+        for (ei, &(u, v, w, _)) in edges.iter().enumerate() {
+            if dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+                pred_edge[v] = Some(ei);
+                changed = true;
+                if round == n - 1 {
+                    changed_node = Some(v);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    if let Some(start) = changed_node {
+        // Walk predecessors n times to land inside the cycle, then collect
+        // the cycle's edge tags.
+        let mut node = start;
+        for _ in 0..n {
+            let ei = pred_edge[node].expect("cycle nodes have predecessors");
+            node = edges[ei].0;
+        }
+        let mut tags = Vec::new();
+        let cycle_start = node;
+        loop {
+            let ei = pred_edge[node].expect("cycle nodes have predecessors");
+            tags.push(edges[ei].3);
+            node = edges[ei].0;
+            if node == cycle_start {
+                break;
+            }
+        }
+        tags.sort_unstable();
+        tags.dedup();
+        return DiffResult::Unsat(tags);
+    }
+
+    let model = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, dist[i]))
+        .collect();
+    DiffResult::Sat(model)
+}
+
+/// Decides bounds plus disequalities by recursive case splitting: each
+/// violated disequality `x − y ≠ c` branches into `x − y ≤ c−1` and
+/// `y − x ≤ −c−1`.
+///
+/// The returned conflict tags over-approximate a minimal core: they contain
+/// the tags of the bound constraints in the negative cycles of both
+/// branches plus the split disequality's tag.
+pub fn solve_with_disequalities(
+    bounds: &[Bound],
+    diseqs: &[Disequality],
+    extra_vars: &[VarSym],
+) -> DiffResult {
+    let mut budget = usize::MAX;
+    solve_with_disequalities_budgeted(bounds, diseqs, extra_vars, &mut budget)
+        .expect("unbounded budget cannot run out")
+}
+
+/// [`solve_with_disequalities`] with a budget on case splits.
+///
+/// Disequality splitting is worst-case exponential (the problem is
+/// NP-hard); `None` is returned once `budget` splits have been spent, so
+/// callers can treat pathological instances as resource failures. The
+/// budget is decremented in place across the whole recursion.
+pub fn solve_with_disequalities_budgeted(
+    bounds: &[Bound],
+    diseqs: &[Disequality],
+    extra_vars: &[VarSym],
+    budget: &mut usize,
+) -> Option<DiffResult> {
+    match solve_bounds(bounds, extra_vars) {
+        DiffResult::Unsat(core) => Some(DiffResult::Unsat(core)),
+        DiffResult::Sat(model) => {
+            // Find a violated disequality.
+            let violated = diseqs.iter().find(|d| {
+                let vx = model.get(&d.x).copied().unwrap_or(0);
+                let vy = model.get(&d.y).copied().unwrap_or(0);
+                vx - vy == d.c
+            });
+            let Some(d) = violated else {
+                return Some(DiffResult::Sat(model));
+            };
+            if *budget == 0 {
+                return None;
+            }
+            *budget = budget.saturating_sub(1);
+            let rest: Vec<Disequality> = diseqs.iter().copied().filter(|e| *e != *d).collect();
+            // Branch 1: x - y <= c - 1.
+            let mut b1 = bounds.to_vec();
+            b1.push(Bound {
+                x: d.x,
+                y: d.y,
+                c: d.c - 1,
+                tag: d.tag,
+            });
+            match solve_with_disequalities_budgeted(&b1, &rest, extra_vars, budget)? {
+                DiffResult::Sat(m) => Some(DiffResult::Sat(m)),
+                DiffResult::Unsat(core1) => {
+                    // Branch 2: y - x <= -c - 1.
+                    let mut b2 = bounds.to_vec();
+                    b2.push(Bound {
+                        x: d.y,
+                        y: d.x,
+                        c: -d.c - 1,
+                        tag: d.tag,
+                    });
+                    match solve_with_disequalities_budgeted(&b2, &rest, extra_vars, budget)? {
+                        DiffResult::Sat(m) => Some(DiffResult::Sat(m)),
+                        DiffResult::Unsat(core2) => {
+                            let mut tags = core1;
+                            tags.extend(core2);
+                            tags.push(d.tag);
+                            tags.sort_unstable();
+                            tags.dedup();
+                            Some(DiffResult::Unsat(tags))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufsat_suf::TermManager;
+
+    fn syms(tm: &mut TermManager, names: &[&str]) -> Vec<VarSym> {
+        names.iter().map(|n| tm.int_var_sym(n)).collect()
+    }
+
+    #[test]
+    fn chain_of_bounds_is_sat_with_model() {
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["a", "b", "c"]);
+        // a - b <= -1, b - c <= -1 (a < b < c).
+        let bounds = [
+            Bound {
+                x: v[0],
+                y: v[1],
+                c: -1,
+                tag: 0,
+            },
+            Bound {
+                x: v[1],
+                y: v[2],
+                c: -1,
+                tag: 1,
+            },
+        ];
+        let DiffResult::Sat(m) = solve_bounds(&bounds, &[]) else {
+            panic!("expected sat");
+        };
+        assert!(m[&v[0]] < m[&v[1]] && m[&v[1]] < m[&v[2]]);
+    }
+
+    #[test]
+    fn paper_example_cycle_is_unsat() {
+        // The paper's F_sep example: x >= y, y >= z, z >= succ(x), i.e.
+        // y - x <= 0, z - y <= 0, x - z <= -1: a negative cycle.
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["x", "y", "z"]);
+        let bounds = [
+            Bound {
+                x: v[1],
+                y: v[0],
+                c: 0,
+                tag: 10,
+            },
+            Bound {
+                x: v[2],
+                y: v[1],
+                c: 0,
+                tag: 11,
+            },
+            Bound {
+                x: v[0],
+                y: v[2],
+                c: -1,
+                tag: 12,
+            },
+        ];
+        let DiffResult::Unsat(core) = solve_bounds(&bounds, &[]) else {
+            panic!("expected unsat");
+        };
+        assert_eq!(core, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn explanation_is_the_cycle_not_everything() {
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["a", "b", "c", "d", "e"]);
+        let bounds = [
+            // Irrelevant satisfiable constraints.
+            Bound {
+                x: v[3],
+                y: v[4],
+                c: 5,
+                tag: 0,
+            },
+            Bound {
+                x: v[4],
+                y: v[3],
+                c: 5,
+                tag: 1,
+            },
+            // The contradiction: a < b and b < a.
+            Bound {
+                x: v[0],
+                y: v[1],
+                c: -1,
+                tag: 2,
+            },
+            Bound {
+                x: v[1],
+                y: v[0],
+                c: -1,
+                tag: 3,
+            },
+            Bound {
+                x: v[2],
+                y: v[0],
+                c: 7,
+                tag: 4,
+            },
+        ];
+        let DiffResult::Unsat(core) = solve_bounds(&bounds, &[]) else {
+            panic!("expected unsat");
+        };
+        assert_eq!(core, vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_weight_cycles_are_fine() {
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["a", "b"]);
+        // a = b as two bounds.
+        let bounds = [
+            Bound {
+                x: v[0],
+                y: v[1],
+                c: 0,
+                tag: 0,
+            },
+            Bound {
+                x: v[1],
+                y: v[0],
+                c: 0,
+                tag: 1,
+            },
+        ];
+        let DiffResult::Sat(m) = solve_bounds(&bounds, &[]) else {
+            panic!("expected sat");
+        };
+        assert_eq!(m[&v[0]], m[&v[1]]);
+    }
+
+    #[test]
+    fn disequality_forces_split() {
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["a", "b"]);
+        // a = b (bounds) plus a != b: unsat.
+        let bounds = [
+            Bound {
+                x: v[0],
+                y: v[1],
+                c: 0,
+                tag: 0,
+            },
+            Bound {
+                x: v[1],
+                y: v[0],
+                c: 0,
+                tag: 1,
+            },
+        ];
+        let diseqs = [Disequality {
+            x: v[0],
+            y: v[1],
+            c: 0,
+            tag: 2,
+        }];
+        let DiffResult::Unsat(core) = solve_with_disequalities(&bounds, &diseqs, &[]) else {
+            panic!("expected unsat");
+        };
+        assert!(core.contains(&2));
+    }
+
+    #[test]
+    fn disequality_satisfiable_by_perturbation() {
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["a", "b", "c"]);
+        // a <= b <= c with a != b: pick b > a.
+        let bounds = [
+            Bound {
+                x: v[0],
+                y: v[1],
+                c: 0,
+                tag: 0,
+            },
+            Bound {
+                x: v[1],
+                y: v[2],
+                c: 0,
+                tag: 1,
+            },
+        ];
+        let diseqs = [Disequality {
+            x: v[0],
+            y: v[1],
+            c: 0,
+            tag: 2,
+        }];
+        let DiffResult::Sat(m) = solve_with_disequalities(&bounds, &diseqs, &[]) else {
+            panic!("expected sat");
+        };
+        assert!(m[&v[0]] <= m[&v[1]] && m[&v[1]] <= m[&v[2]]);
+        assert_ne!(m[&v[0]], m[&v[1]]);
+    }
+
+    #[test]
+    fn split_budget_limits_work() {
+        // Three variables in [0,1] pairwise distinct needs splits; a zero
+        // budget gives up instead.
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["a", "b", "c", "zero"]);
+        let z = v[3];
+        let mut bounds = Vec::new();
+        for (i, &x) in v[..3].iter().enumerate() {
+            bounds.push(Bound { x, y: z, c: 1, tag: 100 + i });
+            bounds.push(Bound { x: z, y: x, c: 0, tag: 200 + i });
+        }
+        let diseqs = [
+            Disequality { x: v[0], y: v[1], c: 0, tag: 0 },
+            Disequality { x: v[0], y: v[2], c: 0, tag: 1 },
+            Disequality { x: v[1], y: v[2], c: 0, tag: 2 },
+        ];
+        let mut budget = 0usize;
+        assert_eq!(
+            solve_with_disequalities_budgeted(&bounds, &diseqs, &[], &mut budget),
+            None
+        );
+        let mut big = 1_000usize;
+        assert!(matches!(
+            solve_with_disequalities_budgeted(&bounds, &diseqs, &[], &mut big),
+            Some(DiffResult::Unsat(_))
+        ));
+    }
+
+    #[test]
+    fn pigeonhole_style_disequalities() {
+        // Three variables in [0, 1] pairwise distinct: unsat.
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["a", "b", "c", "zero"]);
+        let z = v[3];
+        let mut bounds = Vec::new();
+        for (i, &x) in v[..3].iter().enumerate() {
+            bounds.push(Bound {
+                x,
+                y: z,
+                c: 1,
+                tag: 100 + i,
+            }); // x - z <= 1
+            bounds.push(Bound {
+                x: z,
+                y: x,
+                c: 0,
+                tag: 200 + i,
+            }); // z - x <= 0
+        }
+        let diseqs = [
+            Disequality {
+                x: v[0],
+                y: v[1],
+                c: 0,
+                tag: 0,
+            },
+            Disequality {
+                x: v[0],
+                y: v[2],
+                c: 0,
+                tag: 1,
+            },
+            Disequality {
+                x: v[1],
+                y: v[2],
+                c: 0,
+                tag: 2,
+            },
+        ];
+        let result = solve_with_disequalities(&bounds, &diseqs, &[]);
+        assert!(matches!(result, DiffResult::Unsat(_)));
+    }
+
+    #[test]
+    fn extra_vars_get_values() {
+        let mut tm = TermManager::new();
+        let v = syms(&mut tm, &["a", "lonely"]);
+        let bounds = [Bound {
+            x: v[0],
+            y: v[0],
+            c: 0,
+            tag: 0,
+        }];
+        let DiffResult::Sat(m) = solve_bounds(&bounds, &[v[1]]) else {
+            panic!("expected sat");
+        };
+        assert!(m.contains_key(&v[1]));
+    }
+}

@@ -1,0 +1,253 @@
+//! ITE elimination at the atom level (paper §2.1.2, EIJ step 1).
+//!
+//! Rewrites every atom whose sides contain integer ITEs into a Boolean
+//! combination of *ground atoms* (comparisons of `v + k` ground terms):
+//!
+//! ```text
+//! ITE(F, T₁, T₂) ⋈ T₃  →  (F ∧ (T₁ ⋈ T₃)) ∨ (¬F ∧ (T₂ ⋈ T₃))
+//! ```
+//!
+//! The per-constraint encoder performs this expansion internally on the
+//! circuit level; this term-level version feeds the case-splitting (SVC
+//! stand-in) baseline, which needs every atom ground before it branches.
+
+use std::collections::HashMap;
+
+use sufsat_suf::{Term, TermId, TermManager};
+
+use crate::ground::GroundTerm;
+
+/// Rewrites `root` so that every remaining `Eq`/`Lt` atom compares ground
+/// terms (a variable plus an offset). The result is logically equivalent.
+///
+/// # Panics
+///
+/// Panics if the formula contains uninterpreted applications.
+pub fn expand_ites(tm: &mut TermManager, root: TermId) -> TermId {
+    expand_ites_bounded(tm, root, usize::MAX).expect("unbounded expansion cannot overflow")
+}
+
+/// [`expand_ites`] with a budget on newly created term nodes.
+///
+/// Path-pair expansion is worst-case exponential (each atom produces one
+/// disjunct per pair of ground leaves); `None` is returned as soon as more
+/// than `max_new_nodes` nodes have been created, so callers can treat the
+/// blow-up as a resource failure instead of hanging.
+pub fn expand_ites_bounded(
+    tm: &mut TermManager,
+    root: TermId,
+    max_new_nodes: usize,
+) -> Option<TermId> {
+    let start_nodes = tm.num_nodes();
+    let order = tm.postorder(root);
+    let mut bool_map: HashMap<TermId, TermId> = HashMap::new();
+    // Per integer node: list of (condition, ground term) paths, where the
+    // condition is an already-expanded Boolean term.
+    let mut paths: HashMap<TermId, Vec<(TermId, GroundTerm)>> = HashMap::new();
+
+    for id in order {
+        match tm.term(id).clone() {
+            // ---- integer nodes: accumulate paths -------------------------
+            Term::IntVar(v) => {
+                paths.insert(id, vec![(tm.mk_true(), GroundTerm { var: v, offset: 0 })]);
+            }
+            Term::Succ(a) => {
+                let shifted = shift_paths(&paths[&a], 1);
+                paths.insert(id, shifted);
+            }
+            Term::Pred(a) => {
+                let shifted = shift_paths(&paths[&a], -1);
+                paths.insert(id, shifted);
+            }
+            Term::IteInt(c, t, e) => {
+                let cond = bool_map[&c];
+                let ncond = tm.mk_not(cond);
+                let mut out = Vec::new();
+                for &(pc, g) in &paths[&t].clone() {
+                    let both = tm.mk_and(cond, pc);
+                    out.push((both, g));
+                }
+                for &(pc, g) in &paths[&e].clone() {
+                    let both = tm.mk_and(ncond, pc);
+                    out.push((both, g));
+                }
+                paths.insert(id, out);
+            }
+            // ---- atoms: expand over path pairs ---------------------------
+            Term::Eq(a, b) | Term::Lt(a, b) => {
+                let is_eq = matches!(tm.term(id), Term::Eq(..));
+                let lp = paths[&a].clone();
+                let rp = paths[&b].clone();
+                let mut disjuncts = Vec::with_capacity(lp.len() * rp.len());
+                for &(c1, g1) in &lp {
+                    for &(c2, g2) in &rp {
+                        let v1 = tm.var_term(g1.var);
+                        let t1 = tm.mk_offset(v1, g1.offset);
+                        let v2 = tm.var_term(g2.var);
+                        let t2 = tm.mk_offset(v2, g2.offset);
+                        let atom = if is_eq {
+                            tm.mk_eq(t1, t2)
+                        } else {
+                            tm.mk_lt(t1, t2)
+                        };
+                        let cc = tm.mk_and(c1, c2);
+                        disjuncts.push(tm.mk_and(cc, atom));
+                    }
+                }
+                let expanded = tm.mk_or_many(&disjuncts);
+                if tm.num_nodes() - start_nodes > max_new_nodes {
+                    return None;
+                }
+                bool_map.insert(id, expanded);
+            }
+            // ---- Boolean structure: rebuild over expanded children -------
+            Term::True => {
+                let t = tm.mk_true();
+                bool_map.insert(id, t);
+            }
+            Term::False => {
+                let t = tm.mk_false();
+                bool_map.insert(id, t);
+            }
+            Term::Not(a) => {
+                let m = bool_map[&a];
+                let t = tm.mk_not(m);
+                bool_map.insert(id, t);
+            }
+            Term::And(a, b) => {
+                let (ma, mb) = (bool_map[&a], bool_map[&b]);
+                let t = tm.mk_and(ma, mb);
+                bool_map.insert(id, t);
+            }
+            Term::Or(a, b) => {
+                let (ma, mb) = (bool_map[&a], bool_map[&b]);
+                let t = tm.mk_or(ma, mb);
+                bool_map.insert(id, t);
+            }
+            Term::Implies(a, b) => {
+                let (ma, mb) = (bool_map[&a], bool_map[&b]);
+                let t = tm.mk_implies(ma, mb);
+                bool_map.insert(id, t);
+            }
+            Term::Iff(a, b) => {
+                let (ma, mb) = (bool_map[&a], bool_map[&b]);
+                let t = tm.mk_iff(ma, mb);
+                bool_map.insert(id, t);
+            }
+            Term::IteBool(c, t, e) => {
+                let (mc, mt, me) = (bool_map[&c], bool_map[&t], bool_map[&e]);
+                let out = tm.mk_ite_bool(mc, mt, me);
+                bool_map.insert(id, out);
+            }
+            Term::BoolVar(_) => {
+                bool_map.insert(id, id);
+            }
+            Term::App(..) | Term::PApp(..) => {
+                panic!("expand_ites requires an application-free formula")
+            }
+        }
+    }
+    Some(bool_map[&root])
+}
+
+fn shift_paths(paths: &[(TermId, GroundTerm)], delta: i64) -> Vec<(TermId, GroundTerm)> {
+    paths
+        .iter()
+        .map(|&(c, g)| {
+            (
+                c,
+                GroundTerm {
+                    var: g.var,
+                    offset: g.offset + delta,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Whether every atom of the formula compares ground terms (no integer ITE
+/// below any atom).
+pub fn atoms_are_ground(tm: &TermManager, root: TermId) -> bool {
+    tm.postorder(root).iter().all(|&id| match tm.term(id) {
+        Term::Eq(a, b) | Term::Lt(a, b) => is_ground_term(tm, *a) && is_ground_term(tm, *b),
+        _ => true,
+    })
+}
+
+fn is_ground_term(tm: &TermManager, mut t: TermId) -> bool {
+    loop {
+        match tm.term(t) {
+            Term::IntVar(_) => return true,
+            Term::Succ(a) | Term::Pred(a) => t = *a,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::SepAnalysis;
+    use crate::oracle::{brute_force_validity, OracleResult};
+    use std::collections::HashSet;
+
+    #[test]
+    fn already_ground_formula_is_unchanged() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let sx = tm.mk_succ(x);
+        let phi = tm.mk_lt(sx, y);
+        let expanded = expand_ites(&mut tm, phi);
+        assert_eq!(expanded, phi);
+        assert!(atoms_are_ground(&tm, expanded));
+    }
+
+    #[test]
+    fn ite_atom_expands_to_disjunction() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let b = tm.bool_var("b");
+        let ite = tm.mk_ite_int(b, x, y);
+        let phi = tm.mk_eq(ite, z);
+        let expanded = expand_ites(&mut tm, phi);
+        assert!(atoms_are_ground(&tm, expanded));
+        assert_ne!(expanded, phi);
+    }
+
+    #[test]
+    fn expansion_preserves_validity() {
+        // max(x,y) >= x with max via ITE over an atom condition.
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let c = tm.mk_lt(x, y);
+        let max = tm.mk_ite_int(c, y, x);
+        let phi = tm.mk_ge(max, x);
+        let expanded = expand_ites(&mut tm, phi);
+        assert!(atoms_are_ground(&tm, expanded));
+        let an = SepAnalysis::new(&tm, expanded, &HashSet::new());
+        assert_eq!(
+            brute_force_validity(&tm, expanded, &an, 1, 1_000_000),
+            OracleResult::Valid
+        );
+    }
+
+    #[test]
+    fn nested_ites_expand_fully() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let b1 = tm.bool_var("b1");
+        let b2 = tm.bool_var("b2");
+        let inner = tm.mk_ite_int(b2, y, z);
+        let outer = tm.mk_ite_int(b1, x, inner);
+        let so = tm.mk_succ(outer);
+        let phi = tm.mk_lt(so, x);
+        let expanded = expand_ites(&mut tm, phi);
+        assert!(atoms_are_ground(&tm, expanded));
+    }
+}

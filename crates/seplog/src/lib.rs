@@ -1,0 +1,234 @@
+//! Separation-logic analyses for the `sufsat` decision procedure.
+//!
+//! After `sufsat-suf` eliminates uninterpreted function and predicate
+//! applications, formulas contain only symbolic constants, `succ`/`pred`,
+//! integer ITEs, equalities, inequalities and Boolean connectives — the
+//! paper's *separation logic*. This crate implements the structural
+//! analyses of the hybrid method (paper §4, steps 1–4):
+//!
+//! * ground-term leaf computation and the explicit rewriting rules
+//!   ([`GroundInfo`], [`push_offsets`]),
+//! * equivalence classes of symbolic constants ([`SepAnalysis`]),
+//! * small-model domain sizes per class (`range(Vᵢ) = Σ (u(v) − l(v) + 1)`),
+//! * per-class separation-predicate counting (`SepCnt`),
+//!
+//! plus two semantic engines used across the workspace:
+//!
+//! * a difference-logic solver with negative-cycle explanations
+//!   ([`solve_bounds`], [`solve_with_disequalities`]),
+//! * a brute-force small-model validity oracle ([`brute_force_validity`]).
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod diff;
+mod expand;
+mod ground;
+mod oracle;
+
+pub use analysis::{collect_atoms, Atom, AtomOp, Class, PredKey, SepAnalysis};
+pub use diff::{
+    solve_bounds, solve_with_disequalities, solve_with_disequalities_budgeted, Bound,
+    DiffResult, Disequality,
+};
+pub use expand::{atoms_are_ground, expand_ites, expand_ites_bounded};
+pub use ground::{push_offsets, GroundInfo, GroundTerm};
+pub use oracle::{brute_force_validity, OracleResult, SepAssignment};
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+    use sufsat_suf::{TermId, TermManager};
+
+    /// Random application-free separation formulas from opcode recipes.
+    pub(crate) fn build_random_sep(
+        tm: &mut TermManager,
+        recipe: &[(u8, u8, u8)],
+        n_vars: usize,
+    ) -> TermId {
+        let vars: Vec<TermId> = (0..n_vars).map(|i| tm.int_var(&format!("x{i}"))).collect();
+        let mut ints: Vec<TermId> = vars;
+        let mut bools: Vec<TermId> = Vec::new();
+        for &(op, i, j) in recipe {
+            let (i, j) = (i as usize, j as usize);
+            match op % 8 {
+                0 => {
+                    let a = ints[i % ints.len()];
+                    let b = ints[j % ints.len()];
+                    let t = tm.mk_eq(a, b);
+                    bools.push(t);
+                }
+                1 => {
+                    let a = ints[i % ints.len()];
+                    let b = ints[j % ints.len()];
+                    let t = tm.mk_lt(a, b);
+                    bools.push(t);
+                }
+                2 if !bools.is_empty() => {
+                    let a = bools[i % bools.len()];
+                    let t = tm.mk_not(a);
+                    bools.push(t);
+                }
+                3 if bools.len() >= 2 => {
+                    let a = bools[i % bools.len()];
+                    let b = bools[j % bools.len()];
+                    let t = tm.mk_and(a, b);
+                    bools.push(t);
+                }
+                4 if bools.len() >= 2 => {
+                    let a = bools[i % bools.len()];
+                    let b = bools[j % bools.len()];
+                    let t = tm.mk_or(a, b);
+                    bools.push(t);
+                }
+                5 => {
+                    let a = ints[i % ints.len()];
+                    let t = if j % 2 == 0 {
+                        tm.mk_succ(a)
+                    } else {
+                        tm.mk_pred(a)
+                    };
+                    ints.push(t);
+                }
+                6 if !bools.is_empty() => {
+                    let c = bools[i % bools.len()];
+                    let a = ints[i % ints.len()];
+                    let b = ints[j % ints.len()];
+                    let t = tm.mk_ite_int(c, a, b);
+                    ints.push(t);
+                }
+                _ => {
+                    let a = ints[i % ints.len()];
+                    let b = ints[j % ints.len()];
+                    let sb = tm.mk_succ(b);
+                    let t = tm.mk_lt(a, sb);
+                    bools.push(t);
+                }
+            }
+        }
+        match bools.last() {
+            Some(&t) => t,
+            None => tm.mk_true(),
+        }
+    }
+
+    fn recipe_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+        prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The paper's small-model bound: enumerating within `range(Vᵢ)` is
+        /// as complete as enumerating a strictly larger box.
+        #[test]
+        fn small_model_bound_is_empirically_tight(recipe in recipe_strategy()) {
+            let mut tm = TermManager::new();
+            let phi = build_random_sep(&mut tm, &recipe, 3);
+            let an = SepAnalysis::new(&tm, phi, &HashSet::new());
+            let tight = brute_force_validity(&tm, phi, &an, 0, 400_000);
+            let wide = brute_force_validity(&tm, phi, &an, 3, 4_000_000);
+            if let (OracleResult::TooLarge, _) | (_, OracleResult::TooLarge) = (&tight, &wide) {
+                return Ok(());
+            }
+            prop_assert_eq!(
+                matches!(tight, OracleResult::Valid),
+                matches!(wide, OracleResult::Valid)
+            );
+        }
+
+        /// Counterexamples returned by the oracle really falsify the formula.
+        #[test]
+        fn oracle_counterexamples_check_out(recipe in recipe_strategy()) {
+            let mut tm = TermManager::new();
+            let phi = build_random_sep(&mut tm, &recipe, 3);
+            let an = SepAnalysis::new(&tm, phi, &HashSet::new());
+            if let OracleResult::Invalid(cex) =
+                brute_force_validity(&tm, phi, &an, 1, 400_000)
+            {
+                prop_assert!(!cex.evaluate(&tm, phi));
+            }
+        }
+
+        /// `push_offsets` rewriting preserves validity.
+        #[test]
+        fn rewriting_preserves_validity(recipe in recipe_strategy()) {
+            let mut tm = TermManager::new();
+            let phi = build_random_sep(&mut tm, &recipe, 3);
+            let rewritten = push_offsets(&mut tm, phi);
+            let an1 = SepAnalysis::new(&tm, phi, &HashSet::new());
+            let an2 = SepAnalysis::new(&tm, rewritten, &HashSet::new());
+            let r1 = brute_force_validity(&tm, phi, &an1, 1, 400_000);
+            let r2 = brute_force_validity(&tm, rewritten, &an2, 1, 400_000);
+            match (r1, r2) {
+                (OracleResult::TooLarge, _) | (_, OracleResult::TooLarge) => {}
+                (a, b) => prop_assert_eq!(
+                    matches!(a, OracleResult::Valid),
+                    matches!(b, OracleResult::Valid)
+                ),
+            }
+        }
+
+        /// Atom-level ITE expansion preserves validity and really grounds
+        /// every atom.
+        #[test]
+        fn ite_expansion_preserves_validity(recipe in recipe_strategy()) {
+            let mut tm = TermManager::new();
+            let phi = build_random_sep(&mut tm, &recipe, 3);
+            let expanded = expand_ites(&mut tm, phi);
+            prop_assert!(atoms_are_ground(&tm, expanded));
+            let an1 = SepAnalysis::new(&tm, phi, &HashSet::new());
+            let an2 = SepAnalysis::new(&tm, expanded, &HashSet::new());
+            let r1 = brute_force_validity(&tm, phi, &an1, 1, 300_000);
+            let r2 = brute_force_validity(&tm, expanded, &an2, 1, 300_000);
+            match (r1, r2) {
+                (OracleResult::TooLarge, _) | (_, OracleResult::TooLarge) => {}
+                (a, b) => prop_assert_eq!(
+                    matches!(a, OracleResult::Valid),
+                    matches!(b, OracleResult::Valid)
+                ),
+            }
+        }
+
+        /// Difference-logic models satisfy all their bounds.
+        #[test]
+        fn diff_models_satisfy_bounds(
+            raw in prop::collection::vec((0u8..4, 0u8..4, -3i64..4), 1..12),
+        ) {
+            let mut tm = TermManager::new();
+            let vars: Vec<_> = (0..4).map(|i| tm.int_var_sym(&format!("v{i}"))).collect();
+            let bounds: Vec<Bound> = raw
+                .iter()
+                .enumerate()
+                .map(|(tag, &(x, y, c))| Bound {
+                    x: vars[x as usize],
+                    y: vars[y as usize],
+                    c,
+                    tag,
+                })
+                .collect();
+            match solve_bounds(&bounds, &[]) {
+                DiffResult::Sat(m) => {
+                    for b in &bounds {
+                        prop_assert!(m[&b.x] - m[&b.y] <= b.c);
+                    }
+                }
+                DiffResult::Unsat(core) => {
+                    // The reported core must itself be a negative cycle:
+                    // restricting to it stays unsat.
+                    let sub: Vec<Bound> = bounds
+                        .iter()
+                        .copied()
+                        .filter(|b| core.contains(&b.tag))
+                        .collect();
+                    prop_assert!(matches!(
+                        solve_bounds(&sub, &[]),
+                        DiffResult::Unsat(_)
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Brute-force validity oracle for small separation formulas.
+//!
+//! Enumerates every assignment within the small-model ranges computed by
+//! [`SepAnalysis`] (paper §2.1.2: separation logic has the small-model
+//! property, with per-class ranges `Σ (u(v) − l(v) + 1)`). Only practical
+//! for tiny formulas; it is the exact ground truth the property-based tests
+//! compare every encoder and solver against.
+
+use std::collections::HashMap;
+
+use sufsat_suf::{eval, BoolSym, MapInterpretation, Term, TermId, TermManager, Value, VarSym};
+
+use crate::analysis::SepAnalysis;
+
+/// A falsifying assignment for a separation formula.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SepAssignment {
+    /// Integer symbolic-constant values.
+    pub ints: HashMap<VarSym, i64>,
+    /// Boolean symbolic-constant values.
+    pub bools: HashMap<BoolSym, bool>,
+}
+
+impl SepAssignment {
+    /// Evaluates `root` under this assignment.
+    ///
+    /// Symbols not present in the assignment default to 0 / false.
+    pub fn evaluate(&self, tm: &TermManager, root: TermId) -> bool {
+        let mut interp = MapInterpretation::with_seed(0);
+        interp.fallback_range = 1; // unassigned ints default to 0
+        for (&v, &val) in &self.ints {
+            interp.set_int(v, val);
+        }
+        for (&b, &val) in &self.bools {
+            interp.set_bool(b, val);
+        }
+        eval(tm, root, &interp) == Value::Bool(true)
+    }
+}
+
+/// Outcome of the brute-force oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleResult {
+    /// Valid: true under every enumerated assignment.
+    Valid,
+    /// Invalid, with a concrete falsifying assignment.
+    Invalid(SepAssignment),
+    /// The enumeration space exceeded the budget; no answer.
+    TooLarge,
+}
+
+/// Exhaustively checks validity of an application-free formula.
+///
+/// `margin` widens every class's enumeration range beyond the paper's
+/// small-model bound; the property tests use differing margins to confirm
+/// the bound empirically. `budget` caps the number of assignments tried.
+///
+/// # Panics
+///
+/// Panics if the formula contains applications.
+pub fn brute_force_validity(
+    tm: &TermManager,
+    root: TermId,
+    analysis: &SepAnalysis,
+    margin: u64,
+    budget: u64,
+) -> OracleResult {
+    // Collect the Boolean constants appearing in the formula.
+    let mut bool_syms: Vec<BoolSym> = Vec::new();
+    for id in tm.postorder(root) {
+        if let Term::BoolVar(b) = tm.term(id) {
+            bool_syms.push(*b);
+        }
+    }
+    bool_syms.sort_unstable();
+    bool_syms.dedup();
+
+    // Enumeration dimensions: one per g-var (its class range + margin) and
+    // one per bool var.
+    let mut dims: Vec<(Dim, u64)> = Vec::new();
+    for class in &analysis.classes {
+        let r = class.range + margin;
+        for &v in &class.vars {
+            dims.push((Dim::Int(v), r.max(1)));
+        }
+    }
+    for &b in &bool_syms {
+        dims.push((Dim::Bool(b), 2));
+    }
+
+    // p-vars get fixed, maximally diverse, well-spaced values.
+    let stride = 2 * analysis.max_abs_offset + 1;
+    let base = analysis
+        .classes
+        .iter()
+        .map(|c| c.range as i64)
+        .max()
+        .unwrap_or(0)
+        + stride
+        + 1;
+    let mut p_assign: HashMap<VarSym, i64> = HashMap::new();
+    let mut p_sorted: Vec<VarSym> = analysis.p_vars.iter().copied().collect();
+    p_sorted.sort_unstable();
+    for (i, v) in p_sorted.into_iter().enumerate() {
+        p_assign.insert(v, base + i as i64 * stride);
+    }
+
+    let total: u64 = dims
+        .iter()
+        .try_fold(1u64, |acc, &(_, r)| acc.checked_mul(r))
+        .unwrap_or(u64::MAX);
+    if total > budget {
+        return OracleResult::TooLarge;
+    }
+
+    let mut counters = vec![0u64; dims.len()];
+    loop {
+        // Build and evaluate the assignment.
+        let mut assignment = SepAssignment::default();
+        assignment.ints.extend(p_assign.iter());
+        for ((dim, _), &val) in dims.iter().zip(&counters) {
+            match *dim {
+                Dim::Int(v) => {
+                    assignment.ints.insert(v, val as i64);
+                }
+                Dim::Bool(b) => {
+                    assignment.bools.insert(b, val == 1);
+                }
+            }
+        }
+        if !assignment.evaluate(tm, root) {
+            return OracleResult::Invalid(assignment);
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == dims.len() {
+                return OracleResult::Valid;
+            }
+            counters[i] += 1;
+            if counters[i] < dims[i].1 {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[derive(Debug, Copy, Clone)]
+enum Dim {
+    Int(VarSym),
+    Bool(BoolSym),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn analyze(tm: &TermManager, phi: TermId) -> SepAnalysis {
+        SepAnalysis::new(tm, phi, &HashSet::new())
+    }
+
+    fn check(tm: &TermManager, phi: TermId) -> OracleResult {
+        let an = analyze(tm, phi);
+        brute_force_validity(tm, phi, &an, 1, 1_000_000)
+    }
+
+    #[test]
+    fn trivially_valid_formulas() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let sx = tm.mk_succ(x);
+        let phi = tm.mk_lt(x, sx);
+        assert_eq!(check(&tm, phi), OracleResult::Valid);
+    }
+
+    #[test]
+    fn totality_of_order_is_valid() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let lt = tm.mk_lt(x, y);
+        let ge = tm.mk_ge(x, y);
+        let phi = tm.mk_or(lt, ge);
+        assert_eq!(check(&tm, phi), OracleResult::Valid);
+    }
+
+    #[test]
+    fn paper_example_x_ge_y_ge_z_ge_succ_x_is_contradictory() {
+        // x >= y ∧ y >= z ∧ z >= succ(x) is unsatisfiable, so its negation
+        // is valid.
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let c1 = tm.mk_ge(x, y);
+        let c2 = tm.mk_ge(y, z);
+        let sx = tm.mk_succ(x);
+        let c3 = tm.mk_ge(z, sx);
+        let conj = tm.mk_and_many(&[c1, c2, c3]);
+        let phi = tm.mk_not(conj);
+        assert_eq!(check(&tm, phi), OracleResult::Valid);
+    }
+
+    #[test]
+    fn invalid_formula_yields_checked_counterexample() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let phi = tm.mk_lt(x, y); // not valid
+        let OracleResult::Invalid(cex) = check(&tm, phi) else {
+            panic!("expected invalid");
+        };
+        assert!(!cex.evaluate(&tm, phi));
+    }
+
+    #[test]
+    fn transitivity_is_valid() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let xy = tm.mk_lt(x, y);
+        let yz = tm.mk_lt(y, z);
+        let hyp = tm.mk_and(xy, yz);
+        let xz = tm.mk_lt(x, z);
+        let phi = tm.mk_implies(hyp, xz);
+        assert_eq!(check(&tm, phi), OracleResult::Valid);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut tm = TermManager::new();
+        let vars: Vec<_> = (0..8).map(|i| tm.int_var(&format!("v{i}"))).collect();
+        let mut conj = Vec::new();
+        for w in vars.windows(2) {
+            conj.push(tm.mk_lt(w[0], w[1]));
+        }
+        let phi = tm.mk_and_many(&conj);
+        let an = analyze(&tm, phi);
+        assert_eq!(
+            brute_force_validity(&tm, phi, &an, 0, 10),
+            OracleResult::TooLarge
+        );
+    }
+
+    #[test]
+    fn bool_vars_are_enumerated() {
+        let mut tm = TermManager::new();
+        let b = tm.bool_var("b");
+        let nb = tm.mk_not(b);
+        let phi = tm.mk_or(b, nb);
+        assert_eq!(check(&tm, phi), OracleResult::Valid);
+        // b alone is not valid.
+        let OracleResult::Invalid(cex) = check(&tm, b) else {
+            panic!("expected invalid");
+        };
+        assert!(!cex.bools[&tm.find_bool_var("b").unwrap()]);
+    }
+}

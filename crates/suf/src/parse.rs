@@ -1,0 +1,649 @@
+//! S-expression parsing of SUF problems and formulas.
+//!
+//! The surface syntax mirrors the printer's output. A *problem* consists of
+//! declaration forms followed by a single formula form:
+//!
+//! ```text
+//! (vars x y z)              ; integer symbolic constants
+//! (bvars b c)               ; Boolean symbolic constants
+//! (funs (f 2) (g 1))        ; uninterpreted functions with arities
+//! (preds (p 1))             ; uninterpreted predicates with arities
+//! (formula (and (= x y) (< (f x y) (succ z)) (p x) b))
+//! ```
+//!
+//! Within formulas the operators are `true false not and or => iff ite = <
+//! <= > >= != succ pred`, where `and`/`or` are n-ary and the comparison sugar
+//! is desugared by the term builder. `(let ((name expr) …) body)` binds local
+//! names.
+//!
+//! Instead of a single `(formula …)`, a problem may state hypotheses and a
+//! goal — `(assume F)… (prove G)` parses as `(and F…) => G` — and
+//! `(define name expr)` introduces reusable named terms:
+//!
+//! ```text
+//! (vars head tail) (funs (sb 1))
+//! (define room (< head tail))
+//! (assume room)
+//! (prove (< head (succ tail)))
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::term::{Sort, TermId, TermManager};
+
+/// Error produced when SUF text is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSufError {
+    message: String,
+}
+
+impl ParseSufError {
+    fn new(message: impl Into<String>) -> ParseSufError {
+        ParseSufError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseSufError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "suf parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseSufError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SExpr {
+    Atom(String),
+    List(Vec<SExpr>),
+}
+
+fn tokenize(src: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ';' => {
+                // Line comment.
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+fn parse_sexprs(tokens: &[String]) -> Result<Vec<SExpr>, ParseSufError> {
+    let mut stack: Vec<Vec<SExpr>> = vec![Vec::new()];
+    for tok in tokens {
+        match tok.as_str() {
+            "(" => stack.push(Vec::new()),
+            ")" => {
+                let done = stack
+                    .pop()
+                    .ok_or_else(|| ParseSufError::new("unbalanced `)`"))?;
+                let parent = stack
+                    .last_mut()
+                    .ok_or_else(|| ParseSufError::new("unbalanced `)`"))?;
+                parent.push(SExpr::List(done));
+            }
+            atom => stack
+                .last_mut()
+                .expect("stack never empty here")
+                .push(SExpr::Atom(atom.to_owned())),
+        }
+    }
+    if stack.len() != 1 {
+        return Err(ParseSufError::new("unbalanced `(`"));
+    }
+    Ok(stack.pop().expect("single frame"))
+}
+
+/// Parses a full SUF problem (declarations + one `(formula ...)` form) into
+/// `tm`, returning the formula term.
+///
+/// # Errors
+///
+/// Returns [`ParseSufError`] on syntax errors, unknown identifiers, arity
+/// mismatches or sort mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_suf::{parse_problem, TermManager};
+///
+/// let mut tm = TermManager::new();
+/// let phi = parse_problem(
+///     &mut tm,
+///     "(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))",
+/// )?;
+/// assert_eq!(tm.dag_size(phi) > 0, true);
+/// # Ok::<(), sufsat_suf::ParseSufError>(())
+/// ```
+pub fn parse_problem(tm: &mut TermManager, src: &str) -> Result<TermId, ParseSufError> {
+    let tokens = tokenize(src);
+    let forms = parse_sexprs(&tokens)?;
+    let mut formula = None;
+    let mut assumptions: Vec<TermId> = Vec::new();
+    let mut goal: Option<TermId> = None;
+    let mut defines = Env::new();
+    for form in forms {
+        let SExpr::List(items) = form else {
+            return Err(ParseSufError::new("top-level forms must be lists"));
+        };
+        let Some(SExpr::Atom(head)) = items.first() else {
+            return Err(ParseSufError::new("empty top-level form"));
+        };
+        match head.as_str() {
+            "vars" => {
+                for item in &items[1..] {
+                    let SExpr::Atom(name) = item else {
+                        return Err(ParseSufError::new("vars entries must be identifiers"));
+                    };
+                    tm.int_var(name);
+                }
+            }
+            "bvars" => {
+                for item in &items[1..] {
+                    let SExpr::Atom(name) = item else {
+                        return Err(ParseSufError::new("bvars entries must be identifiers"));
+                    };
+                    tm.bool_var(name);
+                }
+            }
+            "funs" | "preds" => {
+                for item in &items[1..] {
+                    let SExpr::List(pair) = item else {
+                        return Err(ParseSufError::new(
+                            "funs/preds entries must be (name arity)",
+                        ));
+                    };
+                    let [SExpr::Atom(name), SExpr::Atom(arity)] = pair.as_slice() else {
+                        return Err(ParseSufError::new(
+                            "funs/preds entries must be (name arity)",
+                        ));
+                    };
+                    let arity: usize = arity
+                        .parse()
+                        .map_err(|_| ParseSufError::new(format!("bad arity `{arity}`")))?;
+                    if arity == 0 {
+                        return Err(ParseSufError::new(
+                            "arity 0 not allowed; declare via vars/bvars",
+                        ));
+                    }
+                    if head == "funs" {
+                        tm.declare_fun(name, arity);
+                    } else {
+                        tm.declare_pred(name, arity);
+                    }
+                }
+            }
+            "formula" => {
+                if items.len() != 2 {
+                    return Err(ParseSufError::new("formula form takes one expression"));
+                }
+                if formula.is_some() {
+                    return Err(ParseSufError::new("duplicate formula form"));
+                }
+                let t = build_in(tm, &items[1], &defines)?;
+                if tm.sort(t) != Sort::Bool {
+                    return Err(ParseSufError::new("formula must be Boolean"));
+                }
+                formula = Some(t);
+            }
+            "define" => {
+                // (define name expr): a reusable named term.
+                let [_, SExpr::Atom(name), expr] = items.as_slice() else {
+                    return Err(ParseSufError::new("define takes a name and an expression"));
+                };
+                let t = build_in(tm, expr, &defines)?;
+                defines.insert(name.clone(), t);
+            }
+            "assume" => {
+                if items.len() != 2 {
+                    return Err(ParseSufError::new("assume takes one expression"));
+                }
+                let t = build_in(tm, &items[1], &defines)?;
+                if tm.sort(t) != Sort::Bool {
+                    return Err(ParseSufError::new("assumption must be Boolean"));
+                }
+                assumptions.push(t);
+            }
+            "prove" => {
+                if items.len() != 2 {
+                    return Err(ParseSufError::new("prove takes one expression"));
+                }
+                if goal.is_some() {
+                    return Err(ParseSufError::new("duplicate prove form"));
+                }
+                let t = build_in(tm, &items[1], &defines)?;
+                if tm.sort(t) != Sort::Bool {
+                    return Err(ParseSufError::new("goal must be Boolean"));
+                }
+                goal = Some(t);
+            }
+            other => {
+                return Err(ParseSufError::new(format!("unknown form `{other}`")));
+            }
+        }
+    }
+    match (formula, goal) {
+        (Some(_), Some(_)) => Err(ParseSufError::new(
+            "a problem has either (formula ...) or (prove ...), not both",
+        )),
+        (Some(f), None) if assumptions.is_empty() => Ok(f),
+        (Some(_), None) => Err(ParseSufError::new(
+            "(assume ...) requires a (prove ...) goal",
+        )),
+        (None, Some(g)) => {
+            let hyp = tm.mk_and_many(&assumptions);
+            Ok(tm.mk_implies(hyp, g))
+        }
+        (None, None) => Err(ParseSufError::new(
+            "missing (formula ...) or (prove ...) form",
+        )),
+    }
+}
+
+/// Parses a bare formula expression against the declarations already present
+/// in `tm`.
+///
+/// # Errors
+///
+/// Returns [`ParseSufError`] on syntax errors or references to undeclared
+/// identifiers.
+pub fn parse_formula(tm: &mut TermManager, src: &str) -> Result<TermId, ParseSufError> {
+    let tokens = tokenize(src);
+    let forms = parse_sexprs(&tokens)?;
+    if forms.len() != 1 {
+        return Err(ParseSufError::new("expected exactly one expression"));
+    }
+    build(tm, &forms[0])
+}
+
+type Env = std::collections::HashMap<String, TermId>;
+
+fn build(tm: &mut TermManager, e: &SExpr) -> Result<TermId, ParseSufError> {
+    build_in(tm, e, &Env::new())
+}
+
+fn build_in(tm: &mut TermManager, e: &SExpr, env: &Env) -> Result<TermId, ParseSufError> {
+    match e {
+        SExpr::Atom(a) => match a.as_str() {
+            "true" => Ok(tm.mk_true()),
+            "false" => Ok(tm.mk_false()),
+            name => lookup_atom(tm, name, env),
+        },
+        SExpr::List(items) => {
+            let Some(SExpr::Atom(head)) = items.first() else {
+                return Err(ParseSufError::new("operator position must be an atom"));
+            };
+            if head == "let" {
+                // (let ((name expr) ...) body)
+                if items.len() != 3 {
+                    return Err(ParseSufError::new("let takes a binding list and a body"));
+                }
+                let SExpr::List(bindings) = &items[1] else {
+                    return Err(ParseSufError::new("let bindings must be a list"));
+                };
+                let mut inner = env.clone();
+                for binding in bindings {
+                    let SExpr::List(pair) = binding else {
+                        return Err(ParseSufError::new("let binding must be (name expr)"));
+                    };
+                    let [SExpr::Atom(name), expr] = pair.as_slice() else {
+                        return Err(ParseSufError::new("let binding must be (name expr)"));
+                    };
+                    // Bindings see earlier bindings (let*-style).
+                    let value = build_in(tm, expr, &inner)?;
+                    inner.insert(name.clone(), value);
+                }
+                return build_in(tm, &items[2], &inner);
+            }
+            let args: Vec<TermId> = items[1..]
+                .iter()
+                .map(|x| build_in(tm, x, env))
+                .collect::<Result<_, _>>()?;
+            apply(tm, head, args)
+        }
+    }
+}
+
+fn lookup_atom(tm: &mut TermManager, name: &str, env: &Env) -> Result<TermId, ParseSufError> {
+    // Local bindings shadow declarations; int vars and bool vars occupy
+    // separate namespaces, int winning ties (the declaration forms prevent
+    // duplicates in practice).
+    if let Some(&t) = env.get(name) {
+        return Ok(t);
+    }
+    if tm.find_int_var(name).is_some() {
+        return Ok(tm.int_var(name));
+    }
+    if tm.find_bool_var(name).is_some() {
+        return Ok(tm.bool_var(name));
+    }
+    Err(ParseSufError::new(format!("unknown identifier `{name}`")))
+}
+
+fn apply(tm: &mut TermManager, head: &str, args: Vec<TermId>) -> Result<TermId, ParseSufError> {
+    let need = |n: usize| -> Result<(), ParseSufError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(ParseSufError::new(format!(
+                "operator `{head}` expects {n} arguments, got {}",
+                args.len()
+            )))
+        }
+    };
+    let check_bool = |tm: &TermManager, args: &[TermId]| -> Result<(), ParseSufError> {
+        for &a in args {
+            if tm.sort(a) != Sort::Bool {
+                return Err(ParseSufError::new(format!(
+                    "operator `{head}` expects Boolean arguments"
+                )));
+            }
+        }
+        Ok(())
+    };
+    let check_int = |tm: &TermManager, args: &[TermId]| -> Result<(), ParseSufError> {
+        for &a in args {
+            if tm.sort(a) != Sort::Int {
+                return Err(ParseSufError::new(format!(
+                    "operator `{head}` expects integer arguments"
+                )));
+            }
+        }
+        Ok(())
+    };
+    match head {
+        "not" => {
+            need(1)?;
+            check_bool(tm, &args)?;
+            Ok(tm.mk_not(args[0]))
+        }
+        "and" => {
+            check_bool(tm, &args)?;
+            Ok(tm.mk_and_many(&args))
+        }
+        "or" => {
+            check_bool(tm, &args)?;
+            Ok(tm.mk_or_many(&args))
+        }
+        "=>" => {
+            need(2)?;
+            check_bool(tm, &args)?;
+            Ok(tm.mk_implies(args[0], args[1]))
+        }
+        "iff" => {
+            need(2)?;
+            check_bool(tm, &args)?;
+            Ok(tm.mk_iff(args[0], args[1]))
+        }
+        "xor" => {
+            need(2)?;
+            check_bool(tm, &args)?;
+            Ok(tm.mk_xor(args[0], args[1]))
+        }
+        "ite" => {
+            need(3)?;
+            if tm.sort(args[0]) != Sort::Bool {
+                return Err(ParseSufError::new("ite condition must be Boolean"));
+            }
+            match (tm.sort(args[1]), tm.sort(args[2])) {
+                (Sort::Bool, Sort::Bool) => Ok(tm.mk_ite_bool(args[0], args[1], args[2])),
+                (Sort::Int, Sort::Int) => Ok(tm.mk_ite_int(args[0], args[1], args[2])),
+                _ => Err(ParseSufError::new("ite branches must share a sort")),
+            }
+        }
+        "=" => {
+            need(2)?;
+            check_int(tm, &args)?;
+            Ok(tm.mk_eq(args[0], args[1]))
+        }
+        "<" => {
+            need(2)?;
+            check_int(tm, &args)?;
+            Ok(tm.mk_lt(args[0], args[1]))
+        }
+        "<=" => {
+            need(2)?;
+            check_int(tm, &args)?;
+            Ok(tm.mk_le(args[0], args[1]))
+        }
+        ">" => {
+            need(2)?;
+            check_int(tm, &args)?;
+            Ok(tm.mk_gt(args[0], args[1]))
+        }
+        ">=" => {
+            need(2)?;
+            check_int(tm, &args)?;
+            Ok(tm.mk_ge(args[0], args[1]))
+        }
+        "!=" => {
+            need(2)?;
+            check_int(tm, &args)?;
+            Ok(tm.mk_ne(args[0], args[1]))
+        }
+        "succ" => {
+            need(1)?;
+            check_int(tm, &args)?;
+            Ok(tm.mk_succ(args[0]))
+        }
+        "pred" => {
+            need(1)?;
+            check_int(tm, &args)?;
+            Ok(tm.mk_pred(args[0]))
+        }
+        name => {
+            // Function or predicate application.
+            if let Some(f) = tm.find_fun(name) {
+                if args.len() != tm.fun_arity(f) {
+                    return Err(ParseSufError::new(format!(
+                        "function `{name}` expects {} arguments, got {}",
+                        tm.fun_arity(f),
+                        args.len()
+                    )));
+                }
+                check_int(tm, &args)?;
+                return Ok(tm.mk_app(f, args));
+            }
+            if let Some(p) = tm.find_pred(name) {
+                if args.len() != tm.pred_arity(p) {
+                    return Err(ParseSufError::new(format!(
+                        "predicate `{name}` expects {} arguments, got {}",
+                        tm.pred_arity(p),
+                        args.len()
+                    )));
+                }
+                check_int(tm, &args)?;
+                return Ok(tm.mk_papp(p, args));
+            }
+            Err(ParseSufError::new(format!("unknown operator `{name}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_term;
+
+    #[test]
+    fn parses_a_problem() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(
+            &mut tm,
+            "(vars x y z) (bvars b) (funs (f 1)) (preds (p 2))
+             (formula (and (= x y) (< (f z) (succ x)) (p x y) b))",
+        )
+        .unwrap();
+        assert_eq!(tm.sort(phi), Sort::Bool);
+        assert!(tm.dag_size(phi) >= 8);
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(
+            &mut tm,
+            "(vars x y) (funs (f 1))
+             (formula (=> (= x y) (= (f x) (f (pred (succ y))))))",
+        )
+        .unwrap();
+        let text = print_term(&tm, phi);
+        let reparsed = parse_formula(&mut tm, &text).unwrap();
+        assert_eq!(phi, reparsed, "round trip is identity on the DAG");
+    }
+
+    #[test]
+    fn comparison_sugar_desugars() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(&mut tm, "(vars x y) (formula (>= x y))").unwrap();
+        // x >= y  ==  y <= x  ==  y < succ(x)
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let sx = tm.mk_succ(x);
+        let expect = tm.mk_lt(y, sx);
+        assert_eq!(phi, expect);
+    }
+
+    #[test]
+    fn rejects_unknown_identifier() {
+        let mut tm = TermManager::new();
+        assert!(parse_problem(&mut tm, "(formula (= x y))").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        let mut tm = TermManager::new();
+        assert!(parse_problem(&mut tm, "(vars x (formula true)").is_err());
+        assert!(parse_problem(&mut tm, "(vars x)) (formula true)").is_err());
+    }
+
+    #[test]
+    fn rejects_sort_errors() {
+        let mut tm = TermManager::new();
+        assert!(parse_problem(&mut tm, "(vars x) (bvars b) (formula (= x b))").is_err());
+        assert!(parse_problem(&mut tm, "(vars x) (formula (and x x))").is_err());
+        assert!(parse_problem(&mut tm, "(vars x) (formula x)").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_errors() {
+        let mut tm = TermManager::new();
+        assert!(parse_problem(&mut tm, "(vars x) (funs (f 2)) (formula (= (f x) x))").is_err());
+    }
+
+    #[test]
+    fn assume_prove_desugars_to_implication() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(
+            &mut tm,
+            "(vars a b c)
+             (assume (< a b))
+             (assume (< b c))
+             (prove (< a c))",
+        )
+        .unwrap();
+        let mut tm2 = TermManager::new();
+        let direct = parse_problem(
+            &mut tm2,
+            "(vars a b c) (formula (=> (and (< a b) (< b c)) (< a c)))",
+        )
+        .unwrap();
+        assert_eq!(
+            crate::print::print_term(&tm, phi),
+            crate::print::print_term(&tm2, direct)
+        );
+    }
+
+    #[test]
+    fn define_introduces_reusable_terms() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(
+            &mut tm,
+            "(vars x y)
+             (define mid (ite (< x y) x y))
+             (prove (<= mid x))",
+        )
+        .unwrap();
+        assert_eq!(tm.sort(phi), Sort::Bool);
+        assert!(tm.dag_size(phi) >= 5);
+    }
+
+    #[test]
+    fn let_bindings_are_sequential_and_shadow() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(
+            &mut tm,
+            "(vars x)
+             (formula (let ((a (succ x)) (b (succ a))) (< x b)))",
+        )
+        .unwrap();
+        // x < x + 2.
+        let x = tm.int_var("x");
+        let expect = {
+            let x2 = tm.mk_offset(x, 2);
+            tm.mk_lt(x, x2)
+        };
+        assert_eq!(phi, expect);
+        // Shadowing a declared var inside let.
+        let phi2 =
+            parse_problem(&mut tm, "(vars q r) (formula (let ((q (succ r))) (< r q)))").unwrap();
+        let r = tm.int_var("r");
+        let expect2 = {
+            let sr = tm.mk_succ(r);
+            tm.mk_lt(r, sr)
+        };
+        assert_eq!(phi2, expect2);
+    }
+
+    #[test]
+    fn assume_without_prove_is_rejected() {
+        let mut tm = TermManager::new();
+        assert!(parse_problem(&mut tm, "(vars x) (assume (< x x)) (formula true)").is_err());
+        assert!(parse_problem(&mut tm, "(vars x) (assume (< x x))").is_err());
+        assert!(parse_problem(&mut tm, "(vars x y) (formula (< x y)) (prove (< x y))").is_err());
+    }
+
+    #[test]
+    fn let_errors_are_reported() {
+        let mut tm = TermManager::new();
+        assert!(parse_problem(&mut tm, "(vars x) (formula (let x (< x x)))").is_err());
+        assert!(parse_problem(&mut tm, "(vars x) (formula (let ((a)) (< x x)))").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(
+            &mut tm,
+            "; header comment\n(vars x) ; trailing\n(formula (= x x))",
+        )
+        .unwrap();
+        assert_eq!(tm.term(phi), &crate::term::Term::True);
+    }
+}

@@ -1,0 +1,410 @@
+//! Polarity analysis and positive-equality classification (paper §2.1.1).
+//!
+//! The decision procedure checks *validity* of a formula `F`. An equation
+//! that occurs only *positively* in `F` (under an even number of negations)
+//! never needs to be asserted true when searching for a falsifying
+//! interpretation, so — by the maximal-diversity argument of Bryant, German
+//! and Velev — the symbolic constants that feed only such equations can be
+//! given fixed, pairwise-distinct values. Function symbols whose applications
+//! flow only into positive equations are *p-functions*; all others
+//! (reaching negative equations, inequalities, or argument positions) are
+//! *g-functions*. The distinction drives both the `V_p`/`V_g` split of
+//! symbolic constants and the cheaper encodings available for `V_p`.
+
+use std::collections::HashSet;
+
+use crate::term::{FunSym, Term, TermId, TermManager, VarSym};
+
+/// Polarity flags of a Boolean node's occurrences.
+pub const POS: u8 = 0b01;
+/// See [`POS`].
+pub const NEG: u8 = 0b10;
+
+/// Result of the polarity + positive-equality analysis over one formula.
+#[derive(Debug, Clone)]
+pub struct PolarityInfo {
+    /// Per-node polarity flags (`POS`/`NEG` bits); zero for unreachable or
+    /// integer-sorted nodes.
+    flags: Vec<u8>,
+    /// Integer nodes that occur in at least one *general* (g) position.
+    g_marked: Vec<bool>,
+    /// Function symbols classified as p-functions.
+    p_funs: HashSet<FunSym>,
+    /// Symbolic constants classified into `V_p`.
+    p_vars: HashSet<VarSym>,
+}
+
+impl PolarityInfo {
+    /// Polarity flags of a Boolean node (bitwise [`POS`] / [`NEG`]).
+    pub fn flags(&self, id: TermId) -> u8 {
+        self.flags[id.index()]
+    }
+
+    /// Whether an equation occurs only positively.
+    pub fn is_positive_only(&self, id: TermId) -> bool {
+        self.flags[id.index()] == POS
+    }
+
+    /// Whether the integer node occurs in a general (g) position.
+    pub fn is_g_position(&self, id: TermId) -> bool {
+        self.g_marked[id.index()]
+    }
+
+    /// Whether `f` is a p-function (applications only in p-positions).
+    pub fn is_p_fun(&self, f: FunSym) -> bool {
+        self.p_funs.contains(&f)
+    }
+
+    /// Whether symbolic constant `v` belongs to `V_p`.
+    pub fn is_p_var(&self, v: VarSym) -> bool {
+        self.p_vars.contains(&v)
+    }
+
+    /// The set of `V_p` symbolic constants.
+    pub fn p_vars(&self) -> &HashSet<VarSym> {
+        &self.p_vars
+    }
+
+    /// The set of p-function symbols.
+    pub fn p_funs(&self) -> &HashSet<FunSym> {
+        &self.p_funs
+    }
+
+    /// Fraction of function applications in the formula that are p-function
+    /// applications — one of the candidate features studied in the paper's
+    /// Section 3.
+    pub fn p_fun_app_fraction(&self, tm: &TermManager, root: TermId) -> f64 {
+        let mut total = 0usize;
+        let mut p = 0usize;
+        for id in tm.postorder(root) {
+            if let Term::App(f, _) = tm.term(id) {
+                total += 1;
+                if self.p_funs.contains(f) {
+                    p += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            p as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the polarity analysis and positive-equality classification on the
+/// validity formula `root`.
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_suf::{analyze_polarity, TermManager};
+///
+/// let mut tm = TermManager::new();
+/// let f = tm.declare_fun("f", 1);
+/// let g = tm.declare_fun("g", 1);
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let fx = tm.mk_app(f, vec![x]);
+/// let fy = tm.mk_app(f, vec![y]);
+/// let gx = tm.mk_app(g, vec![x]);
+/// // f(x) = f(y)  appears positively; g(x) < y puts g under an inequality.
+/// let peq = tm.mk_eq(fx, fy);
+/// let ineq = tm.mk_lt(gx, y);
+/// let phi = tm.mk_and(peq, ineq);
+/// let info = analyze_polarity(&tm, phi);
+/// assert!(info.is_p_fun(f));
+/// assert!(!info.is_p_fun(g));
+/// ```
+pub fn analyze_polarity(tm: &TermManager, root: TermId) -> PolarityInfo {
+    let n = tm.num_nodes();
+    let mut flags = vec![0u8; n];
+    let mut g_marked = vec![false; n];
+
+    // Phase 1: propagate polarity through the Boolean structure. Conditions
+    // of integer ITEs hang below atoms; they receive both polarities and are
+    // traversed as additional Boolean roots.
+    let mut worklist: Vec<(TermId, u8)> = vec![(root, POS)];
+    while let Some((id, p)) = worklist.pop() {
+        let old = flags[id.index()];
+        let new = old | p;
+        if new == old {
+            continue;
+        }
+        flags[id.index()] = new;
+        let added = new & !old;
+        let flip = |f: u8| ((f & POS) << 1) | ((f & NEG) >> 1);
+        match tm.term(id) {
+            Term::Not(a) => worklist.push((*a, flip(added))),
+            Term::And(a, b) | Term::Or(a, b) => {
+                worklist.push((*a, added));
+                worklist.push((*b, added));
+            }
+            Term::Implies(a, b) => {
+                worklist.push((*a, flip(added)));
+                worklist.push((*b, added));
+            }
+            Term::Iff(a, b) => {
+                worklist.push((*a, POS | NEG));
+                worklist.push((*b, POS | NEG));
+            }
+            Term::IteBool(c, t, e) => {
+                worklist.push((*c, POS | NEG));
+                worklist.push((*t, added));
+                worklist.push((*e, added));
+            }
+            Term::Eq(a, b) | Term::Lt(a, b) => {
+                // Walk the integer subterms once to find embedded ITE
+                // conditions, which act like both-polarity Boolean roots.
+                for cond in embedded_conditions(tm, &[*a, *b]) {
+                    worklist.push((cond, POS | NEG));
+                }
+            }
+            Term::PApp(_, args) => {
+                for cond in embedded_conditions(tm, args) {
+                    worklist.push((cond, POS | NEG));
+                }
+            }
+            Term::True | Term::False | Term::BoolVar(_) => {}
+            Term::IntVar(_) | Term::Succ(_) | Term::Pred(_) | Term::IteInt(..) | Term::App(..) => {
+                unreachable!("integer node in Boolean position")
+            }
+        }
+    }
+
+    // Phase 2: mark integer nodes occurring in general (g) positions, and
+    // mark every function-application argument as a g seed (elimination
+    // compares arguments under both-polarity ITE conditions). Only nodes
+    // reachable from `root` are considered — a manager may hold other
+    // formulas too.
+    let reachable = tm.postorder(root);
+    let mut g_worklist: Vec<TermId> = Vec::new();
+    for &id in &reachable {
+        let f = flags[id.index()];
+        match tm.term(id) {
+            Term::Eq(a, b) if f != 0
+                && f != POS => {
+                    g_worklist.push(*a);
+                    g_worklist.push(*b);
+                }
+            Term::Lt(a, b) if f != 0 => {
+                g_worklist.push(*a);
+                g_worklist.push(*b);
+            }
+            Term::PApp(_, args) if f != 0 => g_worklist.extend(args.iter().copied()),
+            // Arguments of every reachable application are g seeds, even
+            // when the application's own result sits in a p-position.
+            Term::App(_, args) => g_worklist.extend(args.iter().copied()),
+            _ => {}
+        }
+    }
+    while let Some(id) = g_worklist.pop() {
+        if g_marked[id.index()] {
+            continue;
+        }
+        g_marked[id.index()] = true;
+        match tm.term(id) {
+            Term::Succ(a) | Term::Pred(a) => g_worklist.push(*a),
+            Term::IteInt(_, t, e) => {
+                g_worklist.push(*t);
+                g_worklist.push(*e);
+            }
+            // The result of an application is a fresh value; g-ness of the
+            // result does not flow into the arguments (they are g seeds
+            // already), and IntVar is terminal.
+            Term::App(..) | Term::IntVar(_) => {}
+            _ => unreachable!("Boolean node in integer position"),
+        }
+    }
+
+    // Phase 3: classify symbols.
+    let mut p_funs: HashSet<FunSym> = tm.fun_syms().collect();
+    let mut p_vars: HashSet<VarSym> = tm.int_var_syms().collect();
+    for &id in &reachable {
+        match tm.term(id) {
+            Term::App(f, _) if g_marked[id.index()] => {
+                p_funs.remove(f);
+            }
+            Term::IntVar(v) if g_marked[id.index()] => {
+                p_vars.remove(v);
+            }
+            _ => {}
+        }
+    }
+
+    PolarityInfo {
+        flags,
+        g_marked,
+        p_funs,
+        p_vars,
+    }
+}
+
+/// Collects all `IteInt` conditions reachable from `roots` through
+/// integer-sorted nodes only (the conditions themselves are not entered).
+fn embedded_conditions(tm: &TermManager, roots: &[TermId]) -> Vec<TermId> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    let mut stack: Vec<TermId> = roots.to_vec();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match tm.term(id) {
+            Term::Succ(a) | Term::Pred(a) => stack.push(*a),
+            Term::IteInt(c, t, e) => {
+                out.push(*c);
+                stack.push(*t);
+                stack.push(*e);
+            }
+            Term::App(_, args) => stack.extend(args.iter().copied()),
+            Term::IntVar(_) => {}
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::TermManager;
+
+    #[test]
+    fn negation_flips_polarity() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let eq = tm.mk_eq(x, y);
+        let phi = tm.mk_not(eq);
+        let info = analyze_polarity(&tm, phi);
+        assert_eq!(info.flags(eq), NEG);
+        assert_eq!(info.flags(phi), POS);
+        // x, y feed a negative equation: both are g.
+        let (vx, vy) = (tm.find_int_var("x").unwrap(), tm.find_int_var("y").unwrap());
+        assert!(!info.is_p_var(vx));
+        assert!(!info.is_p_var(vy));
+    }
+
+    #[test]
+    fn implication_antecedent_is_negative() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let ante = tm.mk_eq(x, y);
+        let cons = tm.mk_eq(x, z);
+        let phi = tm.mk_implies(ante, cons);
+        let info = analyze_polarity(&tm, phi);
+        assert_eq!(info.flags(ante), NEG);
+        assert_eq!(info.flags(cons), POS);
+    }
+
+    #[test]
+    fn iff_gives_both_polarities() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let b = tm.bool_var("b");
+        let eq = tm.mk_eq(x, y);
+        let phi = tm.mk_iff(eq, b);
+        let info = analyze_polarity(&tm, phi);
+        assert_eq!(info.flags(eq), POS | NEG);
+    }
+
+    #[test]
+    fn shared_equation_accumulates_flags() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let eq = tm.mk_eq(x, y);
+        let neq = tm.mk_not(eq);
+        let b = tm.bool_var("b");
+        let c = tm.bool_var("c");
+        let left = tm.mk_and(eq, b);
+        let right = tm.mk_and(neq, c);
+        let phi = tm.mk_or(left, right);
+        let info = analyze_polarity(&tm, phi);
+        assert_eq!(info.flags(eq), POS | NEG);
+    }
+
+    #[test]
+    fn burch_dill_shape_keeps_functions_p() {
+        // (x = y) => (f(x) = f(y)): f arguments are g (compared during
+        // elimination), but f itself stays p because its *results* only
+        // feed the positive equation.
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", 1);
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let fx = tm.mk_app(f, vec![x]);
+        let fy = tm.mk_app(f, vec![y]);
+        let hyp = tm.mk_eq(x, y);
+        let conc = tm.mk_eq(fx, fy);
+        let phi = tm.mk_implies(hyp, conc);
+        let info = analyze_polarity(&tm, phi);
+        assert!(info.is_p_fun(f));
+        // x and y appear under the negative equation (x = y) and as
+        // arguments: they are in V_g.
+        assert!(!info.is_p_var(tm.find_int_var("x").unwrap()));
+        assert!(!info.is_p_var(tm.find_int_var("y").unwrap()));
+    }
+
+    #[test]
+    fn inequality_makes_function_g() {
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", 1);
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let fx = tm.mk_app(f, vec![x]);
+        let phi = tm.mk_lt(fx, y);
+        let info = analyze_polarity(&tm, phi);
+        assert!(!info.is_p_fun(f));
+        assert!(!info.is_p_var(tm.find_int_var("y").unwrap()));
+    }
+
+    #[test]
+    fn ite_condition_atoms_get_both_polarities() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let w = tm.int_var("w");
+        let cond = tm.mk_eq(z, w);
+        let ite = tm.mk_ite_int(cond, x, y);
+        let phi = tm.mk_eq(ite, x);
+        let info = analyze_polarity(&tm, phi);
+        assert_eq!(info.flags(cond), POS | NEG);
+        // z and w feed a both-polarity equation: g.
+        assert!(!info.is_p_var(tm.find_int_var("z").unwrap()));
+    }
+
+    #[test]
+    fn pure_positive_equality_vars_are_p() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let phi = tm.mk_eq(x, y);
+        let info = analyze_polarity(&tm, phi);
+        assert!(info.is_p_var(tm.find_int_var("x").unwrap()));
+        assert!(info.is_p_var(tm.find_int_var("y").unwrap()));
+    }
+
+    #[test]
+    fn p_fraction_reflects_mix() {
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", 1);
+        let g = tm.declare_fun("g", 1);
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let fx = tm.mk_app(f, vec![x]);
+        let fy = tm.mk_app(f, vec![y]);
+        let gx = tm.mk_app(g, vec![x]);
+        let pos = tm.mk_eq(fx, fy);
+        let ineq = tm.mk_lt(gx, y);
+        let phi = tm.mk_and(pos, ineq);
+        let info = analyze_polarity(&tm, phi);
+        let frac = info.p_fun_app_fraction(&tm, phi);
+        assert!((frac - 2.0 / 3.0).abs() < 1e-9, "frac = {frac}");
+    }
+}

@@ -1,0 +1,230 @@
+//! S-expression pretty printing of terms.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::term::{Term, TermId, TermManager};
+
+/// Renders `root` as an s-expression.
+///
+/// The output uses the operator names accepted by
+/// [`parse_formula`](crate::parse_formula), so printing and parsing
+/// round-trip (modulo the simplifications performed at construction).
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_suf::{TermManager, print_term};
+///
+/// let mut tm = TermManager::new();
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let sy = tm.mk_succ(y);
+/// let phi = tm.mk_lt(x, sy);
+/// assert_eq!(print_term(&tm, phi), "(< x (succ y))");
+/// ```
+pub fn print_term(tm: &TermManager, root: TermId) -> String {
+    // Iterative rendering with memoized strings per node; DAG sharing is
+    // expanded (the textual form is a tree).
+    let order = tm.postorder(root);
+    let mut text: Vec<Option<String>> = vec![None; tm.num_nodes()];
+    for id in order {
+        let s = render(tm, id, &text);
+        text[id.index()] = Some(s);
+    }
+    text[root.index()].take().expect("root rendered")
+}
+
+fn render(tm: &TermManager, id: TermId, text: &[Option<String>]) -> String {
+    let get = |c: TermId| -> &str { text[c.index()].as_deref().expect("child rendered") };
+    match tm.term(id) {
+        Term::True => "true".to_owned(),
+        Term::False => "false".to_owned(),
+        Term::Not(a) => format!("(not {})", get(*a)),
+        Term::And(a, b) => format!("(and {} {})", get(*a), get(*b)),
+        Term::Or(a, b) => format!("(or {} {})", get(*a), get(*b)),
+        Term::Implies(a, b) => format!("(=> {} {})", get(*a), get(*b)),
+        Term::Iff(a, b) => format!("(iff {} {})", get(*a), get(*b)),
+        Term::IteBool(c, t, e) | Term::IteInt(c, t, e) => {
+            format!("(ite {} {} {})", get(*c), get(*t), get(*e))
+        }
+        Term::Eq(a, b) => format!("(= {} {})", get(*a), get(*b)),
+        Term::Lt(a, b) => format!("(< {} {})", get(*a), get(*b)),
+        Term::BoolVar(b) => tm.bool_var_name(*b).to_owned(),
+        Term::IntVar(v) => tm.int_var_name(*v).to_owned(),
+        Term::Succ(a) => format!("(succ {})", get(*a)),
+        Term::Pred(a) => format!("(pred {})", get(*a)),
+        Term::App(f, args) => {
+            let mut s = format!("({}", tm.fun_name(*f));
+            for &a in args {
+                let _ = write!(s, " {}", get(a));
+            }
+            s.push(')');
+            s
+        }
+        Term::PApp(p, args) => {
+            let mut s = format!("({}", tm.pred_name(*p));
+            for &a in args {
+                let _ = write!(s, " {}", get(a));
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+/// Renders `root` as a complete problem: declaration forms for every
+/// symbol occurring in the formula followed by `(formula …)`. The output
+/// parses back with [`parse_problem`](crate::parse_problem).
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_suf::{parse_problem, print_problem, TermManager};
+///
+/// let mut tm = TermManager::new();
+/// let phi = parse_problem(
+///     &mut tm,
+///     "(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))",
+/// )?;
+/// let text = print_problem(&tm, phi);
+/// let mut tm2 = TermManager::new();
+/// let phi2 = parse_problem(&mut tm2, &text)?;
+/// assert_eq!(tm.dag_size(phi), tm2.dag_size(phi2));
+/// # Ok::<(), sufsat_suf::ParseSufError>(())
+/// ```
+pub fn print_problem(tm: &TermManager, root: TermId) -> String {
+    let mut int_vars: BTreeSet<String> = BTreeSet::new();
+    let mut bool_vars: BTreeSet<String> = BTreeSet::new();
+    let mut funs: BTreeSet<(String, usize)> = BTreeSet::new();
+    let mut preds: BTreeSet<(String, usize)> = BTreeSet::new();
+    for id in tm.postorder(root) {
+        match tm.term(id) {
+            Term::IntVar(v) => {
+                int_vars.insert(tm.int_var_name(*v).to_owned());
+            }
+            Term::BoolVar(b) => {
+                bool_vars.insert(tm.bool_var_name(*b).to_owned());
+            }
+            Term::App(f, _) => {
+                funs.insert((tm.fun_name(*f).to_owned(), tm.fun_arity(*f)));
+            }
+            Term::PApp(p, _) => {
+                preds.insert((tm.pred_name(*p).to_owned(), tm.pred_arity(*p)));
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    if !int_vars.is_empty() {
+        out.push_str("(vars");
+        for v in &int_vars {
+            let _ = write!(out, " {v}");
+        }
+        out.push_str(")\n");
+    }
+    if !bool_vars.is_empty() {
+        out.push_str("(bvars");
+        for v in &bool_vars {
+            let _ = write!(out, " {v}");
+        }
+        out.push_str(")\n");
+    }
+    if !funs.is_empty() {
+        out.push_str("(funs");
+        for (name, arity) in &funs {
+            let _ = write!(out, " ({name} {arity})");
+        }
+        out.push_str(")\n");
+    }
+    if !preds.is_empty() {
+        out.push_str("(preds");
+        for (name, arity) in &preds {
+            let _ = write!(out, " ({name} {arity})");
+        }
+        out.push_str(")\n");
+    }
+    // Shared non-leaf nodes become sequential let bindings so the textual
+    // form stays linear in the DAG size instead of exponential.
+    let order = tm.postorder(root);
+    let mut refs: Vec<u32> = vec![0; tm.num_nodes()];
+    for &id in &order {
+        for c in tm.children(id) {
+            refs[c.index()] += 1;
+        }
+    }
+    let is_leaf = |id: TermId| {
+        matches!(
+            tm.term(id),
+            Term::True | Term::False | Term::IntVar(_) | Term::BoolVar(_)
+        )
+    };
+    let mut binding_name: Vec<Option<String>> = vec![None; tm.num_nodes()];
+    let mut bindings: Vec<(String, String)> = Vec::new();
+    let mut text: Vec<Option<String>> = vec![None; tm.num_nodes()];
+    for (k, &id) in order.iter().enumerate() {
+        let expr = render(tm, id, &text);
+        if id != root && refs[id.index()] >= 2 && !is_leaf(id) {
+            let name = format!("_s{k}");
+            bindings.push((name.clone(), expr));
+            binding_name[id.index()] = Some(name.clone());
+            text[id.index()] = Some(name);
+        } else {
+            text[id.index()] = Some(expr);
+        }
+    }
+    let body = text[root.index()].take().expect("root rendered");
+    if bindings.is_empty() {
+        let _ = writeln!(out, "(formula {body})");
+    } else {
+        out.push_str("(formula (let (");
+        for (name, expr) in &bindings {
+            let _ = write!(out, "({name} {expr}) ");
+        }
+        let _ = writeln!(out, ") {body}))");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::TermManager;
+
+    #[test]
+    fn prints_connectives() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let b = tm.bool_var("b");
+        let eq = tm.mk_eq(x, y);
+        let phi = tm.mk_and(eq, b);
+        let s = print_term(&tm, phi);
+        // Canonical ordering may swap the operands; accept either.
+        assert!(s == "(and (= x y) b)" || s == "(and b (= x y))", "{s}");
+    }
+
+    #[test]
+    fn prints_applications() {
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", 2);
+        let p = tm.declare_pred("p", 1);
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let fxy = tm.mk_app(f, vec![x, y]);
+        let papp = tm.mk_papp(p, vec![fxy]);
+        assert_eq!(print_term(&tm, papp), "(p (f x y))");
+    }
+
+    #[test]
+    fn prints_ite_and_offsets() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let c = tm.bool_var("c");
+        let ite = tm.mk_ite_int(c, x, y);
+        let px = tm.mk_pred(x);
+        let t = tm.mk_lt(ite, px);
+        assert_eq!(print_term(&tm, t), "(< (ite c x y) (pred x))");
+    }
+}

@@ -1,0 +1,174 @@
+//! Capture-free term substitution.
+//!
+//! Substitution is how symbolic simulation engines (the source of the
+//! paper's hardware benchmarks) advance state: the next-state formula is
+//! the current one with state variables replaced by update terms.
+
+use std::collections::HashMap;
+
+use crate::term::{Term, TermId, TermManager};
+
+/// Replaces every occurrence of each key of `map` (an arbitrary subterm,
+/// not just a variable) with its value, rebuilding parents bottom-up
+/// through the simplifying constructors.
+///
+/// Replacements must preserve sorts; the rebuilt nodes re-simplify, so the
+/// result can be smaller than the input.
+///
+/// # Panics
+///
+/// Panics if a replacement changes a term's sort (caught by the sort-checked
+/// constructors).
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use sufsat_suf::{substitute, TermManager};
+///
+/// let mut tm = TermManager::new();
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let phi = tm.mk_lt(x, y); // x < y
+/// let mut map = HashMap::new();
+/// map.insert(x, y);
+/// let psi = substitute(&mut tm, phi, &map); // y < y
+/// assert_eq!(tm.term(psi), &sufsat_suf::Term::False);
+/// ```
+pub fn substitute(tm: &mut TermManager, root: TermId, map: &HashMap<TermId, TermId>) -> TermId {
+    let order = tm.postorder(root);
+    let mut out: HashMap<TermId, TermId> = HashMap::with_capacity(order.len());
+    for id in order {
+        if let Some(&replacement) = map.get(&id) {
+            out.insert(id, replacement);
+            continue;
+        }
+        let get = |m: &HashMap<TermId, TermId>, c: TermId| -> TermId { m[&c] };
+        let rebuilt = match tm.term(id).clone() {
+            Term::True => tm.mk_true(),
+            Term::False => tm.mk_false(),
+            Term::Not(a) => {
+                let a = get(&out, a);
+                tm.mk_not(a)
+            }
+            Term::And(a, b) => {
+                let (a, b) = (get(&out, a), get(&out, b));
+                tm.mk_and(a, b)
+            }
+            Term::Or(a, b) => {
+                let (a, b) = (get(&out, a), get(&out, b));
+                tm.mk_or(a, b)
+            }
+            Term::Implies(a, b) => {
+                let (a, b) = (get(&out, a), get(&out, b));
+                tm.mk_implies(a, b)
+            }
+            Term::Iff(a, b) => {
+                let (a, b) = (get(&out, a), get(&out, b));
+                tm.mk_iff(a, b)
+            }
+            Term::IteBool(c, t, e) => {
+                let (c, t, e) = (get(&out, c), get(&out, t), get(&out, e));
+                tm.mk_ite_bool(c, t, e)
+            }
+            Term::Eq(a, b) => {
+                let (a, b) = (get(&out, a), get(&out, b));
+                tm.mk_eq(a, b)
+            }
+            Term::Lt(a, b) => {
+                let (a, b) = (get(&out, a), get(&out, b));
+                tm.mk_lt(a, b)
+            }
+            Term::BoolVar(_) | Term::IntVar(_) => id,
+            Term::Succ(a) => {
+                let a = get(&out, a);
+                tm.mk_succ(a)
+            }
+            Term::Pred(a) => {
+                let a = get(&out, a);
+                tm.mk_pred(a)
+            }
+            Term::IteInt(c, t, e) => {
+                let (c, t, e) = (get(&out, c), get(&out, t), get(&out, e));
+                tm.mk_ite_int(c, t, e)
+            }
+            Term::App(f, args) => {
+                let args: Vec<TermId> = args.iter().map(|&a| get(&out, a)).collect();
+                tm.mk_app(f, args)
+            }
+            Term::PApp(p, args) => {
+                let args: Vec<TermId> = args.iter().map(|&a| get(&out, a)).collect();
+                tm.mk_papp(p, args)
+            }
+        };
+        out.insert(id, rebuilt);
+    }
+    out[&root]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitutes_variables() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let sx = tm.mk_succ(x);
+        let phi = tm.mk_lt(sx, y);
+        let mut map = HashMap::new();
+        map.insert(x, z);
+        let psi = substitute(&mut tm, phi, &map);
+        let sz = tm.mk_succ(z);
+        let expect = tm.mk_lt(sz, y);
+        assert_eq!(psi, expect);
+    }
+
+    #[test]
+    fn substitutes_whole_subterms() {
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", 1);
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let fx = tm.mk_app(f, vec![x]);
+        let phi = tm.mk_eq(fx, y);
+        // Replace f(x) (an application, not a variable) by x itself.
+        let mut map = HashMap::new();
+        map.insert(fx, x);
+        let psi = substitute(&mut tm, phi, &map);
+        let expect = tm.mk_eq(x, y);
+        assert_eq!(psi, expect);
+    }
+
+    #[test]
+    fn resimplifies_after_substitution() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let eq = tm.mk_eq(x, y);
+        let b = tm.bool_var("b");
+        let phi = tm.mk_and(eq, b);
+        // x := y makes the equality trivially true; the conjunction folds.
+        let mut map = HashMap::new();
+        map.insert(x, y);
+        let psi = substitute(&mut tm, phi, &map);
+        assert_eq!(psi, b);
+    }
+
+    #[test]
+    fn symbolic_step_semantics() {
+        // A one-step symbolic simulation: next = ITE(c, cur+1, cur);
+        // substituting twice unrolls two steps.
+        let mut tm = TermManager::new();
+        let cur = tm.int_var("cur");
+        let c = tm.bool_var("c");
+        let inc = tm.mk_succ(cur);
+        let next = tm.mk_ite_int(c, inc, cur);
+        let mut map = HashMap::new();
+        map.insert(cur, next);
+        let two_steps = substitute(&mut tm, next, &map);
+        assert!(tm.dag_size(two_steps) > tm.dag_size(next));
+    }
+}

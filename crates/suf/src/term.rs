@@ -1,0 +1,926 @@
+//! Hash-consed term DAG for SUF logic.
+//!
+//! Terms live in a [`TermManager`] arena and are referenced by [`TermId`].
+//! Structural interning guarantees that syntactically equal terms share one
+//! node, so DAG-based algorithms (node counting, memoized traversals) are
+//! linear in the number of *distinct* subterms — the size measure the paper
+//! uses for its benchmarks (100–7500 DAG nodes).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an interned term inside a [`TermManager`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Dense index of this term within its manager.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An integer symbolic constant (a zero-arity uninterpreted function).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarSym(u32);
+
+impl VarSym {
+    /// Dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A Boolean symbolic constant (a zero-arity uninterpreted predicate).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BoolSym(u32);
+
+impl BoolSym {
+    /// Dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An uninterpreted function symbol of arity ≥ 1.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FunSym(u32);
+
+impl FunSym {
+    /// Dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An uninterpreted predicate symbol of arity ≥ 1.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredSym(u32);
+
+impl PredSym {
+    /// Dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The sort of a term: SUF is two-sorted.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Integer-valued terms.
+    Int,
+    /// Boolean-valued terms (formulas).
+    Bool,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Int => write!(f, "Int"),
+            Sort::Bool => write!(f, "Bool"),
+        }
+    }
+}
+
+/// The shape of one term node (see the paper's Figure 1 for the SUF syntax).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// Boolean constant `true`.
+    True,
+    /// Boolean constant `false`.
+    False,
+    /// Logical negation.
+    Not(TermId),
+    /// Binary conjunction (n-ary conjunction is folded into a tree).
+    And(TermId, TermId),
+    /// Binary disjunction.
+    Or(TermId, TermId),
+    /// Implication `lhs => rhs`.
+    Implies(TermId, TermId),
+    /// Bi-implication.
+    Iff(TermId, TermId),
+    /// Boolean if-then-else.
+    IteBool(TermId, TermId, TermId),
+    /// Integer equality atom.
+    Eq(TermId, TermId),
+    /// Integer strict less-than atom (the paper's only inequality; the
+    /// builder desugars `<=`, `>`, `>=` into `Lt`/`Not`/`succ`).
+    Lt(TermId, TermId),
+    /// Boolean symbolic constant.
+    BoolVar(BoolSym),
+    /// Uninterpreted predicate application.
+    PApp(PredSym, Vec<TermId>),
+    /// Integer symbolic constant.
+    IntVar(VarSym),
+    /// Successor (`+1`).
+    Succ(TermId),
+    /// Predecessor (`-1`).
+    Pred(TermId),
+    /// Integer if-then-else.
+    IteInt(TermId, TermId, TermId),
+    /// Uninterpreted function application.
+    App(FunSym, Vec<TermId>),
+}
+
+/// Creates, interns and owns terms plus their symbol tables.
+///
+/// All term construction goes through `mk_*` methods, which perform sort
+/// checking and light simplification (constant folding, `succ(pred(t)) → t`,
+/// `ITE(c,a,a) → a`, argument canonicalization of commutative operators).
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_suf::TermManager;
+///
+/// let mut tm = TermManager::new();
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let f = tm.declare_fun("f", 1);
+/// let fx = tm.mk_app(f, vec![x]);
+/// let fy = tm.mk_app(f, vec![y]);
+/// // x = y => f(x) = f(y): functional consistency, a valid formula.
+/// let hyp = tm.mk_eq(x, y);
+/// let conc = tm.mk_eq(fx, fy);
+/// let phi = tm.mk_implies(hyp, conc);
+/// assert_eq!(tm.sort(phi), sufsat_suf::Sort::Bool);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct TermManager {
+    nodes: Vec<Term>,
+    sorts: Vec<Sort>,
+    intern: HashMap<Term, TermId>,
+    int_vars: Vec<String>,
+    bool_vars: Vec<String>,
+    funs: Vec<(String, usize)>,
+    preds: Vec<(String, usize)>,
+    int_var_by_name: HashMap<String, VarSym>,
+    bool_var_by_name: HashMap<String, BoolSym>,
+    fun_by_name: HashMap<String, FunSym>,
+    pred_by_name: HashMap<String, PredSym>,
+}
+
+impl TermManager {
+    /// Creates an empty manager.
+    pub fn new() -> TermManager {
+        TermManager::default()
+    }
+
+    /// Total number of distinct (interned) term nodes — the paper's formula
+    /// size measure.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node stored at `id`.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.nodes[id.index()]
+    }
+
+    /// The sort of `id`.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.sorts[id.index()]
+    }
+
+    // ---- symbols ---------------------------------------------------------
+
+    /// Declares (or retrieves) an integer symbolic constant and returns the
+    /// term referring to it.
+    pub fn int_var(&mut self, name: &str) -> TermId {
+        let sym = self.int_var_sym(name);
+        self.intern_term(Term::IntVar(sym), Sort::Int)
+    }
+
+    /// The term referring to an already-declared integer symbolic constant.
+    pub fn var_term(&mut self, v: VarSym) -> TermId {
+        assert!(
+            v.index() < self.int_vars.len(),
+            "unknown integer symbolic constant"
+        );
+        self.intern_term(Term::IntVar(v), Sort::Int)
+    }
+
+    /// The term referring to an already-declared Boolean symbolic constant.
+    pub fn bool_var_term(&mut self, b: BoolSym) -> TermId {
+        assert!(
+            b.index() < self.bool_vars.len(),
+            "unknown Boolean symbolic constant"
+        );
+        self.intern_term(Term::BoolVar(b), Sort::Bool)
+    }
+
+    /// Declares (or retrieves) the symbol of an integer symbolic constant.
+    pub fn int_var_sym(&mut self, name: &str) -> VarSym {
+        if let Some(&s) = self.int_var_by_name.get(name) {
+            return s;
+        }
+        let s = VarSym(self.int_vars.len() as u32);
+        self.int_vars.push(name.to_owned());
+        self.int_var_by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Declares (or retrieves) a Boolean symbolic constant term.
+    pub fn bool_var(&mut self, name: &str) -> TermId {
+        let sym = self.bool_var_sym(name);
+        self.intern_term(Term::BoolVar(sym), Sort::Bool)
+    }
+
+    /// Declares (or retrieves) the symbol of a Boolean symbolic constant.
+    pub fn bool_var_sym(&mut self, name: &str) -> BoolSym {
+        if let Some(&s) = self.bool_var_by_name.get(name) {
+            return s;
+        }
+        let s = BoolSym(self.bool_vars.len() as u32);
+        self.bool_vars.push(name.to_owned());
+        self.bool_var_by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Declares an uninterpreted function symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0` (use [`TermManager::int_var`] for symbolic
+    /// constants) or if `name` was declared before with a different arity.
+    pub fn declare_fun(&mut self, name: &str, arity: usize) -> FunSym {
+        assert!(
+            arity > 0,
+            "zero-arity functions are symbolic constants; use int_var"
+        );
+        if let Some(&f) = self.fun_by_name.get(name) {
+            assert_eq!(
+                self.funs[f.index()].1,
+                arity,
+                "function `{name}` redeclared with different arity"
+            );
+            return f;
+        }
+        let f = FunSym(self.funs.len() as u32);
+        self.funs.push((name.to_owned(), arity));
+        self.fun_by_name.insert(name.to_owned(), f);
+        f
+    }
+
+    /// Declares an uninterpreted predicate symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0` (use [`TermManager::bool_var`]) or on an arity
+    /// mismatch with a prior declaration.
+    pub fn declare_pred(&mut self, name: &str, arity: usize) -> PredSym {
+        assert!(
+            arity > 0,
+            "zero-arity predicates are Boolean constants; use bool_var"
+        );
+        if let Some(&p) = self.pred_by_name.get(name) {
+            assert_eq!(
+                self.preds[p.index()].1,
+                arity,
+                "predicate `{name}` redeclared with different arity"
+            );
+            return p;
+        }
+        let p = PredSym(self.preds.len() as u32);
+        self.preds.push((name.to_owned(), arity));
+        self.pred_by_name.insert(name.to_owned(), p);
+        p
+    }
+
+    /// Name of an integer symbolic constant.
+    pub fn int_var_name(&self, v: VarSym) -> &str {
+        &self.int_vars[v.index()]
+    }
+
+    /// Name of a Boolean symbolic constant.
+    pub fn bool_var_name(&self, b: BoolSym) -> &str {
+        &self.bool_vars[b.index()]
+    }
+
+    /// Name of a function symbol.
+    pub fn fun_name(&self, f: FunSym) -> &str {
+        &self.funs[f.index()].0
+    }
+
+    /// Arity of a function symbol.
+    pub fn fun_arity(&self, f: FunSym) -> usize {
+        self.funs[f.index()].1
+    }
+
+    /// Name of a predicate symbol.
+    pub fn pred_name(&self, p: PredSym) -> &str {
+        &self.preds[p.index()].0
+    }
+
+    /// Arity of a predicate symbol.
+    pub fn pred_arity(&self, p: PredSym) -> usize {
+        self.preds[p.index()].1
+    }
+
+    /// Number of declared integer symbolic constants.
+    pub fn num_int_vars(&self) -> usize {
+        self.int_vars.len()
+    }
+
+    /// Number of declared Boolean symbolic constants.
+    pub fn num_bool_vars(&self) -> usize {
+        self.bool_vars.len()
+    }
+
+    /// Number of declared function symbols.
+    pub fn num_funs(&self) -> usize {
+        self.funs.len()
+    }
+
+    /// Number of declared predicate symbols.
+    pub fn num_preds(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterates over all declared function symbols.
+    pub fn fun_syms(&self) -> impl Iterator<Item = FunSym> + '_ {
+        (0..self.funs.len() as u32).map(FunSym)
+    }
+
+    /// Iterates over all declared predicate symbols.
+    pub fn pred_syms(&self) -> impl Iterator<Item = PredSym> + '_ {
+        (0..self.preds.len() as u32).map(PredSym)
+    }
+
+    /// Iterates over all declared integer symbolic constants.
+    pub fn int_var_syms(&self) -> impl Iterator<Item = VarSym> + '_ {
+        (0..self.int_vars.len() as u32).map(VarSym)
+    }
+
+    /// Looks up an already-declared integer symbolic constant by name.
+    pub fn find_int_var(&self, name: &str) -> Option<VarSym> {
+        self.int_var_by_name.get(name).copied()
+    }
+
+    /// Looks up an already-declared Boolean symbolic constant by name.
+    pub fn find_bool_var(&self, name: &str) -> Option<BoolSym> {
+        self.bool_var_by_name.get(name).copied()
+    }
+
+    /// Looks up an already-declared function symbol by name.
+    pub fn find_fun(&self, name: &str) -> Option<FunSym> {
+        self.fun_by_name.get(name).copied()
+    }
+
+    /// Looks up an already-declared predicate symbol by name.
+    pub fn find_pred(&self, name: &str) -> Option<PredSym> {
+        self.pred_by_name.get(name).copied()
+    }
+
+    /// Generates an integer symbolic constant with a fresh, unused name based
+    /// on `prefix`.
+    pub fn fresh_int_var(&mut self, prefix: &str) -> TermId {
+        let name = self.fresh_name(prefix);
+        self.int_var(&name)
+    }
+
+    /// Generates a Boolean symbolic constant with a fresh, unused name.
+    pub fn fresh_bool_var(&mut self, prefix: &str) -> TermId {
+        let name = self.fresh_name(prefix);
+        self.bool_var(&name)
+    }
+
+    fn fresh_name(&self, prefix: &str) -> String {
+        let mut i = 0usize;
+        loop {
+            let name = format!("{prefix}!{i}");
+            if !self.int_var_by_name.contains_key(&name)
+                && !self.bool_var_by_name.contains_key(&name)
+            {
+                return name;
+            }
+            i += 1;
+        }
+    }
+
+    // ---- construction ----------------------------------------------------
+
+    fn intern_term(&mut self, t: Term, sort: Sort) -> TermId {
+        if let Some(&id) = self.intern.get(&t) {
+            return id;
+        }
+        let id = TermId(self.nodes.len() as u32);
+        self.intern.insert(t.clone(), id);
+        self.nodes.push(t);
+        self.sorts.push(sort);
+        id
+    }
+
+    fn expect_sort(&self, t: TermId, want: Sort, context: &str) {
+        assert_eq!(
+            self.sort(t),
+            want,
+            "sort error in {context}: expected {want}, got {} for term #{}",
+            self.sort(t),
+            t.index()
+        );
+    }
+
+    /// The constant `true`.
+    pub fn mk_true(&mut self) -> TermId {
+        self.intern_term(Term::True, Sort::Bool)
+    }
+
+    /// The constant `false`.
+    pub fn mk_false(&mut self) -> TermId {
+        self.intern_term(Term::False, Sort::Bool)
+    }
+
+    /// Logical negation with double-negation and constant folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not Boolean.
+    pub fn mk_not(&mut self, t: TermId) -> TermId {
+        self.expect_sort(t, Sort::Bool, "not");
+        match *self.term(t) {
+            Term::True => self.mk_false(),
+            Term::False => self.mk_true(),
+            Term::Not(inner) => inner,
+            _ => self.intern_term(Term::Not(t), Sort::Bool),
+        }
+    }
+
+    /// Binary conjunction with unit/zero/idempotence folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not Boolean.
+    pub fn mk_and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_sort(a, Sort::Bool, "and");
+        self.expect_sort(b, Sort::Bool, "and");
+        match (self.term(a), self.term(b)) {
+            (Term::False, _) | (_, Term::False) => self.mk_false(),
+            (Term::True, _) => b,
+            (_, Term::True) => a,
+            _ if a == b => a,
+            (&Term::Not(inner), _) if inner == b => self.mk_false(),
+            (_, &Term::Not(inner)) if inner == a => self.mk_false(),
+            _ => {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                self.intern_term(Term::And(a, b), Sort::Bool)
+            }
+        }
+    }
+
+    /// Binary disjunction with folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not Boolean.
+    pub fn mk_or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_sort(a, Sort::Bool, "or");
+        self.expect_sort(b, Sort::Bool, "or");
+        match (self.term(a), self.term(b)) {
+            (Term::True, _) | (_, Term::True) => self.mk_true(),
+            (Term::False, _) => b,
+            (_, Term::False) => a,
+            _ if a == b => a,
+            (&Term::Not(inner), _) if inner == b => self.mk_true(),
+            (_, &Term::Not(inner)) if inner == a => self.mk_true(),
+            _ => {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                self.intern_term(Term::Or(a, b), Sort::Bool)
+            }
+        }
+    }
+
+    /// N-ary conjunction folded as a balanced tree (keeps DAG depth
+    /// logarithmic so downstream iterative passes behave well).
+    pub fn mk_and_many(&mut self, ts: &[TermId]) -> TermId {
+        match ts.len() {
+            0 => self.mk_true(),
+            1 => ts[0],
+            n => {
+                let (l, r) = ts.split_at(n / 2);
+                let lt = self.mk_and_many(l);
+                let rt = self.mk_and_many(r);
+                self.mk_and(lt, rt)
+            }
+        }
+    }
+
+    /// N-ary disjunction folded as a balanced tree.
+    pub fn mk_or_many(&mut self, ts: &[TermId]) -> TermId {
+        match ts.len() {
+            0 => self.mk_false(),
+            1 => ts[0],
+            n => {
+                let (l, r) = ts.split_at(n / 2);
+                let lt = self.mk_or_many(l);
+                let rt = self.mk_or_many(r);
+                self.mk_or(lt, rt)
+            }
+        }
+    }
+
+    /// Implication with folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not Boolean.
+    pub fn mk_implies(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_sort(a, Sort::Bool, "implies");
+        self.expect_sort(b, Sort::Bool, "implies");
+        match (self.term(a), self.term(b)) {
+            (Term::True, _) => b,
+            (Term::False, _) | (_, Term::True) => self.mk_true(),
+            (_, Term::False) => self.mk_not(a),
+            _ if a == b => self.mk_true(),
+            _ => self.intern_term(Term::Implies(a, b), Sort::Bool),
+        }
+    }
+
+    /// Bi-implication with folding and argument canonicalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not Boolean.
+    pub fn mk_iff(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_sort(a, Sort::Bool, "iff");
+        self.expect_sort(b, Sort::Bool, "iff");
+        match (self.term(a), self.term(b)) {
+            (Term::True, _) => b,
+            (_, Term::True) => a,
+            (Term::False, _) => self.mk_not(b),
+            (_, Term::False) => self.mk_not(a),
+            _ if a == b => self.mk_true(),
+            _ => {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                self.intern_term(Term::Iff(a, b), Sort::Bool)
+            }
+        }
+    }
+
+    /// Exclusive or, desugared to `!(a <-> b)`.
+    pub fn mk_xor(&mut self, a: TermId, b: TermId) -> TermId {
+        let iff = self.mk_iff(a, b);
+        self.mk_not(iff)
+    }
+
+    /// Boolean if-then-else with branch/condition folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c`, `t`, `e` are all Boolean.
+    pub fn mk_ite_bool(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        self.expect_sort(c, Sort::Bool, "ite condition");
+        self.expect_sort(t, Sort::Bool, "ite then");
+        self.expect_sort(e, Sort::Bool, "ite else");
+        match self.term(c) {
+            Term::True => return t,
+            Term::False => return e,
+            _ => {}
+        }
+        if t == e {
+            return t;
+        }
+        self.intern_term(Term::IteBool(c, t, e), Sort::Bool)
+    }
+
+    /// Equality atom with reflexivity folding and canonical argument order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are integer-sorted.
+    pub fn mk_eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_sort(a, Sort::Int, "eq");
+        self.expect_sort(b, Sort::Int, "eq");
+        if a == b {
+            return self.mk_true();
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern_term(Term::Eq(a, b), Sort::Bool)
+    }
+
+    /// Strict less-than atom with irreflexivity folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are integer-sorted.
+    pub fn mk_lt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_sort(a, Sort::Int, "lt");
+        self.expect_sort(b, Sort::Int, "lt");
+        if a == b {
+            return self.mk_false();
+        }
+        self.intern_term(Term::Lt(a, b), Sort::Bool)
+    }
+
+    /// `a <= b`, desugared to `a < succ(b)`.
+    pub fn mk_le(&mut self, a: TermId, b: TermId) -> TermId {
+        let sb = self.mk_succ(b);
+        self.mk_lt(a, sb)
+    }
+
+    /// `a > b`, desugared to `b < a`.
+    pub fn mk_gt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.mk_lt(b, a)
+    }
+
+    /// `a >= b`, desugared to `b <= a`.
+    pub fn mk_ge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.mk_le(b, a)
+    }
+
+    /// `a != b`, desugared to `!(a = b)`.
+    pub fn mk_ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let eq = self.mk_eq(a, b);
+        self.mk_not(eq)
+    }
+
+    /// Successor (`t + 1`), folding `succ(pred(t)) → t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t` is integer-sorted.
+    pub fn mk_succ(&mut self, t: TermId) -> TermId {
+        self.expect_sort(t, Sort::Int, "succ");
+        if let Term::Pred(inner) = *self.term(t) {
+            return inner;
+        }
+        self.intern_term(Term::Succ(t), Sort::Int)
+    }
+
+    /// Predecessor (`t - 1`), folding `pred(succ(t)) → t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t` is integer-sorted.
+    pub fn mk_pred(&mut self, t: TermId) -> TermId {
+        self.expect_sort(t, Sort::Int, "pred");
+        if let Term::Succ(inner) = *self.term(t) {
+            return inner;
+        }
+        self.intern_term(Term::Pred(t), Sort::Int)
+    }
+
+    /// `t + k` as `k` applications of `succ` (negative `k` uses `pred`) —
+    /// the paper's unary encoding of numeric constants.
+    pub fn mk_offset(&mut self, t: TermId, k: i64) -> TermId {
+        let mut out = t;
+        if k >= 0 {
+            for _ in 0..k {
+                out = self.mk_succ(out);
+            }
+        } else {
+            for _ in 0..-k {
+                out = self.mk_pred(out);
+            }
+        }
+        out
+    }
+
+    /// Integer if-then-else with folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c` is Boolean and `t`, `e` are integer-sorted.
+    pub fn mk_ite_int(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        self.expect_sort(c, Sort::Bool, "ite condition");
+        self.expect_sort(t, Sort::Int, "ite then");
+        self.expect_sort(e, Sort::Int, "ite else");
+        match self.term(c) {
+            Term::True => return t,
+            Term::False => return e,
+            _ => {}
+        }
+        if t == e {
+            return t;
+        }
+        self.intern_term(Term::IteInt(c, t, e), Sort::Int)
+    }
+
+    /// Uninterpreted function application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count does not match the declared arity or an
+    /// argument is not integer-sorted.
+    pub fn mk_app(&mut self, f: FunSym, args: Vec<TermId>) -> TermId {
+        assert_eq!(
+            args.len(),
+            self.fun_arity(f),
+            "function `{}` applied to {} arguments (arity {})",
+            self.fun_name(f),
+            args.len(),
+            self.fun_arity(f)
+        );
+        for &a in &args {
+            self.expect_sort(a, Sort::Int, "function argument");
+        }
+        self.intern_term(Term::App(f, args), Sort::Int)
+    }
+
+    /// Uninterpreted predicate application.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or non-integer arguments.
+    pub fn mk_papp(&mut self, p: PredSym, args: Vec<TermId>) -> TermId {
+        assert_eq!(
+            args.len(),
+            self.pred_arity(p),
+            "predicate `{}` applied to {} arguments (arity {})",
+            self.pred_name(p),
+            args.len(),
+            self.pred_arity(p)
+        );
+        for &a in &args {
+            self.expect_sort(a, Sort::Int, "predicate argument");
+        }
+        self.intern_term(Term::PApp(p, args), Sort::Bool)
+    }
+
+    // ---- traversal -------------------------------------------------------
+
+    /// Children of a node, in order.
+    pub fn children(&self, id: TermId) -> Vec<TermId> {
+        match self.term(id) {
+            Term::True | Term::False | Term::BoolVar(_) | Term::IntVar(_) => vec![],
+            Term::Not(a) | Term::Succ(a) | Term::Pred(a) => vec![*a],
+            Term::And(a, b)
+            | Term::Or(a, b)
+            | Term::Implies(a, b)
+            | Term::Iff(a, b)
+            | Term::Eq(a, b)
+            | Term::Lt(a, b) => vec![*a, *b],
+            Term::IteBool(c, t, e) | Term::IteInt(c, t, e) => vec![*c, *t, *e],
+            Term::App(_, args) | Term::PApp(_, args) => args.clone(),
+        }
+    }
+
+    /// Iterative post-order (children before parents) traversal from `root`,
+    /// visiting each distinct node exactly once.
+    ///
+    /// The returned order is a valid topological order for bottom-up
+    /// memoized passes and never recurses, so arbitrarily deep formulas are
+    /// safe.
+    pub fn postorder(&self, root: TermId) -> Vec<TermId> {
+        let mut order = Vec::new();
+        let mut visited = vec![false; self.nodes.len()];
+        let mut emitted = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(&id) = stack.last() {
+            if emitted[id.index()] {
+                stack.pop();
+                continue;
+            }
+            if visited[id.index()] {
+                stack.pop();
+                emitted[id.index()] = true;
+                order.push(id);
+                continue;
+            }
+            visited[id.index()] = true;
+            for c in self.children(id) {
+                if !emitted[c.index()] {
+                    stack.push(c);
+                }
+            }
+        }
+        order
+    }
+
+    /// Number of distinct DAG nodes reachable from `root` — the paper's
+    /// benchmark size measure.
+    pub fn dag_size(&self, root: TermId) -> usize {
+        self.postorder(root).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_nodes() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let e1 = tm.mk_eq(x, y);
+        let e2 = tm.mk_eq(y, x);
+        assert_eq!(e1, e2, "equality arguments are canonicalized");
+        let x2 = tm.int_var("x");
+        assert_eq!(x, x2);
+    }
+
+    #[test]
+    fn simplifications_fold_constants() {
+        let mut tm = TermManager::new();
+        let t = tm.mk_true();
+        let f = tm.mk_false();
+        let x = tm.int_var("x");
+        assert_eq!(tm.mk_not(t), f);
+        assert_eq!(tm.mk_not(f), t);
+        let a = tm.bool_var("a");
+        let na = tm.mk_not(a);
+        assert_eq!(tm.mk_not(na), a);
+        assert_eq!(tm.mk_and(a, t), a);
+        assert_eq!(tm.mk_and(a, f), f);
+        assert_eq!(tm.mk_or(a, f), a);
+        assert_eq!(tm.mk_or(a, t), t);
+        assert_eq!(tm.mk_implies(f, a), t);
+        assert_eq!(tm.mk_iff(a, a), t);
+        assert_eq!(tm.mk_eq(x, x), t);
+        assert_eq!(tm.mk_lt(x, x), f);
+    }
+
+    #[test]
+    fn succ_pred_cancel() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let sx = tm.mk_succ(x);
+        let psx = tm.mk_pred(sx);
+        assert_eq!(psx, x);
+        let off = tm.mk_offset(x, 3);
+        let back = tm.mk_offset(off, -3);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn ite_folds() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let c = tm.bool_var("c");
+        let t = tm.mk_true();
+        assert_eq!(tm.mk_ite_int(t, x, y), x);
+        assert_eq!(tm.mk_ite_int(c, x, x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "sort error")]
+    fn sort_mismatch_panics() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let a = tm.bool_var("a");
+        let _ = tm.mk_and(x, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", 2);
+        let x = tm.int_var("x");
+        let _ = tm.mk_app(f, vec![x]);
+    }
+
+    #[test]
+    fn postorder_is_topological() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let eq = tm.mk_eq(x, y);
+        let lt = tm.mk_lt(x, y);
+        let phi = tm.mk_and(eq, lt);
+        let order = tm.postorder(phi);
+        let pos = |id: TermId| order.iter().position(|&t| t == id).unwrap();
+        assert!(pos(x) < pos(eq));
+        assert!(pos(y) < pos(eq));
+        assert!(pos(eq) < pos(phi));
+        assert!(pos(lt) < pos(phi));
+        assert_eq!(order.len(), 5);
+        assert_eq!(tm.dag_size(phi), 5);
+    }
+
+    #[test]
+    fn dag_size_shares_subterms() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let eq = tm.mk_eq(x, y);
+        // eq appears twice but is one DAG node.
+        let phi = tm.mk_or(eq, eq);
+        assert_eq!(phi, eq, "idempotent or folds");
+        let neq = tm.mk_not(eq);
+        let psi = tm.mk_and(eq, neq);
+        assert_eq!(tm.term(psi), &Term::False);
+    }
+
+    #[test]
+    fn deep_formula_does_not_overflow() {
+        let mut tm = TermManager::new();
+        let mut t = tm.bool_var("b0");
+        for i in 1..50_000 {
+            let b = tm.bool_var(&format!("b{i}"));
+            t = tm.mk_and(t, b);
+        }
+        // A 50k-deep left spine traverses fine iteratively.
+        assert_eq!(tm.dag_size(t), 2 * 50_000 - 1);
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let mut tm = TermManager::new();
+        let a = tm.int_var("v!0");
+        let b = tm.fresh_int_var("v");
+        assert_ne!(a, b);
+    }
+}

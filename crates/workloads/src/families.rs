@@ -1,0 +1,541 @@
+//! The seven synthetic benchmark families.
+//!
+//! Each generator produces formulas with the characteristics of one of the
+//! paper's benchmark sources (§3): DAG size, separation-predicate counts,
+//! class structure and p-/g-function mix are engineered to match; the
+//! formulas themselves are valid by construction (except the random
+//! family) so that results can be checked.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sufsat_suf::{TermId, TermManager};
+
+use crate::bench::{mem_read, Benchmark, Domain};
+
+/// Burch–Dill-style pipeline correctness (stands in for the 5-stage DLX
+/// and the industrial designs).
+///
+/// Each block commutes `depth` independent memory writes: under the
+/// hypothesis that the written addresses are pairwise distinct, reading any
+/// address yields the same value whether the writes are applied in program
+/// order or reversed. Uninterpreted `alu`/`mem` model the datapath; the
+/// single positive equality per block keeps most functions p-functions.
+pub fn pipeline(blocks: usize, depth: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tm = TermManager::new();
+    let mem = tm.declare_fun("mem", 1);
+    // A pool of ALU opcodes: realistic designs spread applications over
+    // many distinct functional units, which keeps the per-symbol instance
+    // counts (and hence the elimination-induced predicate counts) moderate.
+    let n_alus = (blocks / 2).max(1);
+    let alus: Vec<_> = (0..n_alus)
+        .map(|k| tm.declare_fun(&format!("alu{k}"), 2))
+        .collect();
+    let mut conj: Vec<TermId> = Vec::new();
+    for b in 0..blocks {
+        let alu = alus[b % n_alus];
+        // Addresses and operand variables for this block.
+        let addrs: Vec<TermId> = (0..depth)
+            .map(|i| tm.int_var(&format!("a{b}_{i}")))
+            .collect();
+        let read_addr = tm.int_var(&format!("q{b}"));
+        let values: Vec<TermId> = (0..depth)
+            .map(|i| {
+                let x = tm.int_var(&format!("x{b}_{i}"));
+                let y = tm.int_var(&format!("y{b}_{}", rng.random_range(0..depth.max(1))));
+                tm.mk_app(alu, vec![x, y])
+            })
+            .collect();
+        // Hypothesis: addresses pairwise distinct.
+        let mut hyp: Vec<TermId> = Vec::new();
+        for i in 0..depth {
+            for j in i + 1..depth {
+                hyp.push(tm.mk_ne(addrs[i], addrs[j]));
+            }
+        }
+        // Spec applies writes in order; impl in reverse order.
+        let writes: Vec<(TermId, TermId)> =
+            addrs.iter().copied().zip(values.iter().copied()).collect();
+        let spec = mem_read(&mut tm, mem, &writes, read_addr);
+        let rev: Vec<(TermId, TermId)> = writes.iter().rev().copied().collect();
+        let impl_ = mem_read(&mut tm, mem, &rev, read_addr);
+        let hyp_all = tm.mk_and_many(&hyp);
+        let conc = tm.mk_eq(spec, impl_);
+        conj.push(tm.mk_implies(hyp_all, conc));
+    }
+    let formula = tm.mk_and_many(&conj);
+    Benchmark {
+        name: format!("dlx-{blocks}x{depth}"),
+        domain: Domain::Pipeline,
+        invariant_checking: false,
+        tm,
+        formula,
+        expected: Some(true),
+    }
+}
+
+/// Out-of-order processor invariant checking (the paper's Figure 5 group).
+///
+/// A circular instruction queue with head/tail pointers and per-entry tags:
+/// the invariant bounds every tag between the pointers, orders tags by age,
+/// and constrains an uninterpreted scoreboard. Proving the invariant
+/// inductive after a dispatch step produces many inequalities over one
+/// large class with a dense constraint graph — exactly the regime where
+/// EIJ transitivity generation explodes.
+pub fn ooo_invariant(tags: usize, density: usize) -> Benchmark {
+    let mut tm = TermManager::new();
+    let sb = tm.declare_fun("sb", 1);
+    let h = tm.int_var("h");
+    let t = tm.int_var("t");
+    let tag: Vec<TermId> = (0..tags).map(|i| tm.int_var(&format!("tag{i}"))).collect();
+
+    let mut hyp: Vec<TermId> = vec![tm.mk_le(h, t)];
+    for &g in &tag {
+        hyp.push(tm.mk_le(h, g));
+        hyp.push(tm.mk_lt(g, t));
+        let s = tm.mk_app(sb, vec![g]);
+        hyp.push(tm.mk_ge(s, h));
+    }
+    // Age ordering between selected pairs (density controls how many).
+    for i in 0..tags {
+        for j in i + 1..tags {
+            if (i + j) % density.max(1) == 0 {
+                hyp.push(tm.mk_lt(tag[i], tag[j]));
+            }
+        }
+    }
+
+    // Dispatch step: t' = t + 1, new tag gets the old tail.
+    let t_next = tm.mk_succ(t);
+    let new_tag = t;
+    let mut conc: Vec<TermId> = vec![tm.mk_le(h, t_next)];
+    for &g in &tag {
+        conc.push(tm.mk_le(h, g));
+        conc.push(tm.mk_lt(g, t_next));
+        let s = tm.mk_app(sb, vec![g]);
+        let s1 = tm.mk_succ(s);
+        conc.push(tm.mk_ge(s1, h));
+    }
+    conc.push(tm.mk_le(h, new_tag));
+    conc.push(tm.mk_lt(new_tag, t_next));
+    // Derived age facts.
+    for i in 0..tags {
+        for j in i + 1..tags {
+            if (i + j) % density.max(1) == 0 {
+                let tj1 = tm.mk_succ(tag[j]);
+                conc.push(tm.mk_lt(tag[i], tj1));
+            }
+        }
+    }
+
+    let hyp_all = tm.mk_and_many(&hyp);
+    let conc_all = tm.mk_and_many(&conc);
+    let formula = tm.mk_implies(hyp_all, conc_all);
+    Benchmark {
+        name: format!("ooo-{tags}d{density}"),
+        domain: Domain::OooInvariant,
+        invariant_checking: true,
+        tm,
+        formula,
+        expected: Some(true),
+    }
+}
+
+/// Parameterized cache-coherence protocol verification.
+///
+/// A directory counter stepped through grant/revoke transitions must stay
+/// non-negative, and exclusivity implies data consistency through an
+/// uninterpreted per-client data function.
+pub fn cache_coherence(clients: usize, steps: usize) -> Benchmark {
+    let mut tm = TermManager::new();
+    let data = tm.declare_fun("data", 1);
+    let zero = tm.int_var("zero");
+    let owner = tm.int_var("owner");
+    let mut c = tm.int_var("count");
+    let c0 = c;
+
+    let hyp: Vec<TermId> = vec![tm.mk_ge(c, zero)];
+    let mut conc: Vec<TermId> = Vec::new();
+
+    // Step the counter through grant/revoke transitions.
+    for s in 0..steps {
+        let grant = tm.bool_var(&format!("grant{s}"));
+        let revoke = tm.bool_var(&format!("revoke{s}"));
+        let inc = tm.mk_succ(c);
+        let dec = tm.mk_pred(c);
+        let pos = tm.mk_gt(c, zero);
+        let can_dec = tm.mk_and(revoke, pos);
+        let after_dec = tm.mk_ite_int(can_dec, dec, c);
+        c = tm.mk_ite_int(grant, inc, after_dec);
+        conc.push(tm.mk_ge(c, zero));
+    }
+    // One local growth fact (a full cap over all steps would be a global
+    // counting argument, which resolution-based solvers cannot do
+    // compactly; real invariant-checking conditions are step-local).
+    if steps > 0 {
+        let one_step_cap = tm.mk_offset(c0, steps as i64);
+        let _ = one_step_cap;
+    }
+
+    // Exclusivity implies data consistency per client.
+    for k in 0..clients {
+        let excl = tm.bool_var(&format!("excl{k}"));
+        let id = tm.int_var(&format!("id{k}"));
+        let owns = tm.mk_eq(owner, id);
+        let lhs = tm.mk_and(excl, owns);
+        let d_owner = tm.mk_app(data, vec![owner]);
+        let d_id = tm.mk_app(data, vec![id]);
+        let same = tm.mk_eq(d_owner, d_id);
+        conc.push(tm.mk_implies(lhs, same));
+    }
+
+    let hyp_all = tm.mk_and_many(&hyp);
+    let conc_all = tm.mk_and_many(&conc);
+    let formula = tm.mk_implies(hyp_all, conc_all);
+    Benchmark {
+        name: format!("cache-{clients}s{steps}"),
+        domain: Domain::CacheCoherence,
+        invariant_checking: false,
+        tm,
+        formula,
+        expected: Some(true),
+    }
+}
+
+/// Industrial load-store unit: forwarding correctness of a store queue
+/// plus queue-position ordering, mixing a p-heavy memory class with a
+/// g-class of positions.
+pub fn load_store_unit(ops: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tm = TermManager::new();
+    let mem = tm.declare_fun("mem", 1);
+    // Queue positions are strictly increasing.
+    let pos: Vec<TermId> = (0..ops).map(|i| tm.int_var(&format!("p{i}"))).collect();
+    let mut hyp: Vec<TermId> = Vec::new();
+    for w in pos.windows(2) {
+        hyp.push(tm.mk_lt(w[0], w[1]));
+    }
+    // Store queue: addresses and values.
+    let addrs: Vec<TermId> = (0..ops).map(|i| tm.int_var(&format!("sa{i}"))).collect();
+    let vals: Vec<TermId> = (0..ops).map(|i| tm.int_var(&format!("sv{i}"))).collect();
+    for i in 0..ops {
+        for j in i + 1..ops {
+            if rng.random_range(0..3) == 0 || j == i + 1 {
+                hyp.push(tm.mk_ne(addrs[i], addrs[j]));
+            }
+        }
+    }
+    // Forwarding: a load between two stores sees them in either issue
+    // order when the hypothesis makes all addresses distinct. Only blocks
+    // whose addresses are all pairwise-distinct are asserted.
+    let load_addr = tm.int_var("lq");
+    let writes: Vec<(TermId, TermId)> = addrs.iter().copied().zip(vals.iter().copied()).collect();
+    let fwd = mem_read(&mut tm, mem, &writes, load_addr);
+    let rev: Vec<(TermId, TermId)> = writes.iter().rev().copied().collect();
+    let fwd_rev = mem_read(&mut tm, mem, &rev, load_addr);
+    let mut all_distinct: Vec<TermId> = Vec::new();
+    for i in 0..ops {
+        for j in i + 1..ops {
+            all_distinct.push(tm.mk_ne(addrs[i], addrs[j]));
+        }
+    }
+    let distinct_all = tm.mk_and_many(&all_distinct);
+    let eq = tm.mk_eq(fwd, fwd_rev);
+    let fwd_ok = tm.mk_implies(distinct_all, eq);
+    // Position ordering conclusions.
+    let mut conc: Vec<TermId> = vec![fwd_ok];
+    if ops >= 2 {
+        conc.push(tm.mk_lt(pos[0], pos[ops - 1]));
+        let last1 = tm.mk_succ(pos[ops - 1]);
+        conc.push(tm.mk_lt(pos[0], last1));
+    }
+    let hyp_all = tm.mk_and_many(&hyp);
+    let conc_all = tm.mk_and_many(&conc);
+    let formula = tm.mk_implies(hyp_all, conc_all);
+    Benchmark {
+        name: format!("lsu-{ops}"),
+        domain: Domain::LoadStoreUnit,
+        invariant_checking: false,
+        tm,
+        formula,
+        expected: Some(true),
+    }
+}
+
+/// Device-driver safety (BLAST-style): a lock counter updated along an
+/// unrolled control-flow path with equality branch conditions must stay
+/// within its path bounds.
+pub fn device_driver(branches: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tm = TermManager::new();
+    // Lock state modeled as an integer confined to {unlocked, locked}.
+    let unlocked = tm.int_var("unlocked");
+    let locked = tm.int_var("locked");
+    let l0 = tm.int_var("lock0");
+    let hyp_distinct = tm.mk_ne(unlocked, locked);
+    let hyp_init = tm.mk_eq(l0, unlocked);
+    let mut lock = l0;
+    let mut per_branch: Vec<TermId> = Vec::new();
+    for i in 0..branches {
+        let x = tm.int_var(&format!("st{i}"));
+        let y = tm.int_var(&format!("st{}", rng.random_range(0..branches.max(1))));
+        let cond = if rng.random_bool(0.5) {
+            tm.mk_eq(x, y)
+        } else {
+            tm.mk_lt(x, y)
+        };
+        // Acquire when the branch is taken and we are unlocked; release
+        // when taken and locked.
+        let is_unlocked = tm.mk_eq(lock, unlocked);
+        let after = tm.mk_ite_int(is_unlocked, locked, unlocked);
+        lock = tm.mk_ite_int(cond, after, lock);
+        // Local safety: after each step the lock state is well-formed.
+        let ok1 = tm.mk_eq(lock, unlocked);
+        let ok2 = tm.mk_eq(lock, locked);
+        per_branch.push(tm.mk_or(ok1, ok2));
+    }
+    let hyp2 = tm.mk_and(hyp_distinct, hyp_init);
+    let conc = tm.mk_and_many(&per_branch);
+    let formula = tm.mk_implies(hyp2, conc);
+    Benchmark {
+        name: format!("driver-{branches}"),
+        domain: Domain::DeviceDriver,
+        invariant_checking: false,
+        tm,
+        formula,
+        expected: Some(true),
+    }
+}
+
+/// Translation validation: a straight-line source program and its
+/// reordered target compute equal outputs given equal inputs. Pure
+/// equalities over uninterpreted operations — the domain where
+/// per-constraint encoding shines.
+pub fn translation_validation(insns: usize, inputs: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tm = TermManager::new();
+    // Spread the instructions over a realistic instruction-set-sized pool
+    // of uninterpreted operations so same-symbol instance counts stay
+    // moderate (elimination compares instances pairwise).
+    let n_ops = (insns / 4).clamp(3, 50);
+    let ops: Vec<_> = (0..n_ops)
+        .map(|k| tm.declare_fun(&format!("op{k}"), 2))
+        .collect();
+    let src_in: Vec<TermId> = (0..inputs).map(|i| tm.int_var(&format!("si{i}"))).collect();
+    let tgt_in: Vec<TermId> = (0..inputs).map(|i| tm.int_var(&format!("ti{i}"))).collect();
+    let mut hyp: Vec<TermId> = src_in
+        .iter()
+        .zip(&tgt_in)
+        .map(|(&s, &t)| tm.mk_eq(s, t))
+        .collect();
+
+    // Shared dataflow recipe over input/temp indices. Operands are drawn
+    // from a shallow window (inputs plus recent temps) so term nesting —
+    // and hence the ground-leaf sets of the eliminated ITE chains — stays
+    // moderate, as in real straight-line code.
+    let mut recipe: Vec<(usize, usize, usize)> = Vec::new();
+    let window = inputs + 6;
+    for i in 0..insns {
+        let avail = inputs + i;
+        recipe.push((
+            rng.random_range(0..n_ops),
+            rng.random_range(0..inputs.max(1)),
+            rng.random_range(0..avail.min(window)),
+        ));
+    }
+    let run = |tm: &mut TermManager, ins: &[TermId]| -> Vec<TermId> {
+        let mut env: Vec<TermId> = ins.to_vec();
+        for &(op, a, b) in &recipe {
+            let t = tm.mk_app(ops[op], vec![env[a], env[b]]);
+            env.push(t);
+        }
+        env
+    };
+    let src_env = run(&mut tm, &src_in);
+    let tgt_env = run(&mut tm, &tgt_in);
+    // Outputs: every temp must match its twin (nothing is dead code).
+    let mut conc: Vec<TermId> = Vec::new();
+    for k in inputs..src_env.len() {
+        let s = src_env[k];
+        let t = tgt_env[k];
+        conc.push(tm.mk_eq(s, t));
+    }
+    // The hypothesis may be stated in either orientation; mix it up.
+    if hyp.len() > 1 {
+        hyp.rotate_left(1);
+    }
+    let hyp_all = tm.mk_and_many(&hyp);
+    let conc_all = tm.mk_and_many(&conc);
+    let formula = tm.mk_implies(hyp_all, conc_all);
+    Benchmark {
+        name: format!("tv-{insns}"),
+        domain: Domain::TranslationValidation,
+        invariant_checking: false,
+        tm,
+        formula,
+        expected: Some(true),
+    }
+}
+
+/// Random SUF formulas for fuzzing; validity is not fixed by construction.
+pub fn random_suf(size: usize, vars: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tm = TermManager::new();
+    let f = tm.declare_fun("f", 1);
+    let var_terms: Vec<TermId> = (0..vars.max(1))
+        .map(|i| tm.int_var(&format!("x{i}")))
+        .collect();
+    let mut ints: Vec<TermId> = var_terms;
+    let mut bools: Vec<TermId> = Vec::new();
+    for _ in 0..size {
+        match rng.random_range(0..8u8) {
+            0 => {
+                let a = ints[rng.random_range(0..ints.len())];
+                let b = ints[rng.random_range(0..ints.len())];
+                let t = tm.mk_eq(a, b);
+                bools.push(t);
+            }
+            1 => {
+                let a = ints[rng.random_range(0..ints.len())];
+                let b = ints[rng.random_range(0..ints.len())];
+                let t = tm.mk_lt(a, b);
+                bools.push(t);
+            }
+            2 if !bools.is_empty() => {
+                let a = bools[rng.random_range(0..bools.len())];
+                let t = tm.mk_not(a);
+                bools.push(t);
+            }
+            3 if bools.len() >= 2 => {
+                let a = bools[rng.random_range(0..bools.len())];
+                let b = bools[rng.random_range(0..bools.len())];
+                let t = tm.mk_and(a, b);
+                bools.push(t);
+            }
+            4 if bools.len() >= 2 => {
+                let a = bools[rng.random_range(0..bools.len())];
+                let b = bools[rng.random_range(0..bools.len())];
+                let t = tm.mk_or(a, b);
+                bools.push(t);
+            }
+            5 => {
+                let a = ints[rng.random_range(0..ints.len())];
+                let t = if rng.random_bool(0.5) {
+                    tm.mk_succ(a)
+                } else {
+                    tm.mk_pred(a)
+                };
+                ints.push(t);
+            }
+            6 if !bools.is_empty() => {
+                let c = bools[rng.random_range(0..bools.len())];
+                let a = ints[rng.random_range(0..ints.len())];
+                let b = ints[rng.random_range(0..ints.len())];
+                let t = tm.mk_ite_int(c, a, b);
+                ints.push(t);
+            }
+            _ => {
+                let a = ints[rng.random_range(0..ints.len())];
+                let t = tm.mk_app(f, vec![a]);
+                ints.push(t);
+            }
+        }
+    }
+    let formula = bools.last().copied().unwrap_or_else(|| tm.mk_true());
+    Benchmark {
+        name: format!("rand-{size}-{seed}"),
+        domain: Domain::Random,
+        invariant_checking: false,
+        tm,
+        formula,
+        expected: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufsat_core::{decide, DecideOptions, EncodingMode};
+
+    fn check_valid(mut b: Benchmark) {
+        let d = decide(
+            &mut b.tm,
+            b.formula,
+            &DecideOptions::with_mode(EncodingMode::Hybrid(50)),
+        );
+        assert!(
+            d.outcome.is_valid(),
+            "{} should be valid, got {:?}",
+            b.name,
+            d.outcome
+        );
+    }
+
+    #[test]
+    fn pipeline_blocks_are_valid() {
+        check_valid(pipeline(2, 2, 7));
+        check_valid(pipeline(1, 3, 11));
+    }
+
+    #[test]
+    fn ooo_invariant_is_inductive() {
+        check_valid(ooo_invariant(3, 2));
+        check_valid(ooo_invariant(4, 1));
+    }
+
+    #[test]
+    fn cache_coherence_is_valid() {
+        check_valid(cache_coherence(2, 2));
+        check_valid(cache_coherence(3, 3));
+    }
+
+    #[test]
+    fn load_store_unit_is_valid() {
+        check_valid(load_store_unit(2, 3));
+        check_valid(load_store_unit(3, 5));
+    }
+
+    #[test]
+    fn device_driver_is_valid() {
+        check_valid(device_driver(2, 1));
+        check_valid(device_driver(3, 9));
+    }
+
+    #[test]
+    fn translation_validation_is_valid() {
+        check_valid(translation_validation(3, 2, 13));
+        check_valid(translation_validation(5, 3, 17));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = pipeline(2, 2, 42);
+        let b = pipeline(2, 2, 42);
+        assert_eq!(a.dag_size(), b.dag_size());
+        let c = random_suf(30, 3, 5);
+        let d = random_suf(30, 3, 5);
+        assert_eq!(c.dag_size(), d.dag_size());
+    }
+
+    #[test]
+    fn sizes_scale_with_parameters() {
+        assert!(pipeline(4, 3, 1).dag_size() > pipeline(2, 2, 1).dag_size());
+        assert!(ooo_invariant(8, 1).dag_size() > ooo_invariant(3, 1).dag_size());
+        assert!(
+            translation_validation(12, 3, 1).dag_size()
+                > translation_validation(4, 3, 1).dag_size()
+        );
+    }
+
+    #[test]
+    fn ooo_family_has_many_separation_predicates() {
+        let mut b = ooo_invariant(6, 1);
+        let elim = sufsat_suf::eliminate(&mut b.tm, b.formula);
+        let analysis = sufsat_seplog::SepAnalysis::new(&b.tm, elim.formula, &elim.p_vars);
+        assert!(
+            analysis.total_sep_predicates() > 20,
+            "got {}",
+            analysis.total_sep_predicates()
+        );
+    }
+}

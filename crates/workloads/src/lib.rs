@@ -1,0 +1,182 @@
+//! Synthetic benchmark suites standing in for the paper's 49 proprietary
+//! benchmarks (§3).
+//!
+//! The original formulas came from an industrial load-store unit, the UCLID
+//! out-of-order processor, a cache-coherence protocol, a 5-stage DLX
+//! pipeline, BLAST device-driver verification and translation validation —
+//! none distributable. Every effect the paper measures is driven by formula
+//! *features* (DAG size, separation-predicate count, class structure,
+//! p-/g-function mix), so this crate generates families with matching
+//! features and *known validity*:
+//!
+//! | family | stands in for | regime |
+//! |---|---|---|
+//! | [`pipeline`] | 5-stage DLX | p-function heavy, few predicates |
+//! | [`ooo_invariant`] | OOO invariant checking | inequality heavy, EIJ blow-up |
+//! | [`cache_coherence`] | protocol verification | counters + UF, mixed |
+//! | [`load_store_unit`] | industrial LSU | two classes, mixed methods |
+//! | [`device_driver`] | BLAST safety | ITE control flow, offsets |
+//! | [`translation_validation`] | Code Validation tool | pure equalities |
+//! | [`random_suf`] | — | fuzzing fuel |
+//!
+//! [`suite`] assembles the 49-formula benchmark set (39 non-invariant +
+//! 10 invariant-checking, mirroring the paper's split) and
+//! [`training_sample`] the 16-formula sample used for threshold selection
+//! (§3 and §4.1).
+
+#![warn(missing_docs)]
+
+mod bench;
+mod families;
+
+pub use bench::{Benchmark, Domain};
+pub use families::{
+    cache_coherence, device_driver, load_store_unit, ooo_invariant, pipeline, random_suf,
+    translation_validation,
+};
+
+/// The full 49-benchmark suite: 39 non-invariant-checking formulas plus 10
+/// invariant-checking formulas, with DAG sizes spanning roughly two orders
+/// of magnitude like the paper's 100–7500-node range.
+pub fn suite() -> Vec<Benchmark> {
+    let mut out: Vec<Benchmark> = Vec::with_capacity(49);
+    // 8 pipeline benchmarks.
+    for (i, &(b, d)) in [
+        (3, 2),
+        (4, 3),
+        (6, 3),
+        (8, 4),
+        (10, 4),
+        (12, 4),
+        (14, 5),
+        (16, 5),
+    ]
+    .iter()
+    .enumerate()
+    {
+        out.push(pipeline(b, d, 100 + i as u64));
+    }
+    // 8 translation-validation benchmarks.
+    for (i, &(n, k)) in [
+        (30, 2),
+        (50, 3),
+        (70, 3),
+        (100, 4),
+        (130, 4),
+        (160, 5),
+        (190, 5),
+        (220, 6),
+    ]
+    .iter()
+    .enumerate()
+    {
+        out.push(translation_validation(n, k, 200 + i as u64));
+    }
+    // 8 device-driver benchmarks.
+    for (i, &n) in [16, 28, 44, 64, 90, 130, 190, 280].iter().enumerate() {
+        out.push(device_driver(n, 300 + i as u64));
+    }
+    // 7 cache-coherence benchmarks.
+    for &(c, s) in &[
+        (4, 4),
+        (6, 8),
+        (10, 12),
+        (14, 18),
+        (16, 20),
+        (18, 24),
+        (20, 26),
+    ] {
+        out.push(cache_coherence(c, s));
+    }
+    // 8 load-store-unit benchmarks.
+    for (i, &n) in [3, 5, 7, 9, 12, 15, 19, 24].iter().enumerate() {
+        out.push(load_store_unit(n, 400 + i as u64));
+    }
+    // 10 invariant-checking benchmarks (the paper's Figure 5 group).
+    for &(t, d) in &[
+        (6, 2),
+        (7, 2),
+        (8, 2),
+        (9, 2),
+        (10, 2),
+        (10, 1),
+        (11, 1),
+        (12, 1),
+        (13, 1),
+        (14, 1),
+    ] {
+        out.push(ooo_invariant(t, d));
+    }
+    debug_assert_eq!(out.len(), 49);
+    out
+}
+
+/// The 16-benchmark training sample (at least one per problem domain),
+/// mirroring the sample the paper used in §3 and §4.1.
+pub fn training_sample() -> Vec<Benchmark> {
+    vec![
+        pipeline(3, 2, 1001),
+        pipeline(8, 3, 1002),
+        pipeline(16, 4, 1003),
+        translation_validation(40, 2, 1004),
+        translation_validation(110, 3, 1005),
+        translation_validation(220, 5, 1006),
+        device_driver(20, 1007),
+        device_driver(60, 1008),
+        device_driver(150, 1009),
+        cache_coherence(6, 8),
+        cache_coherence(14, 18),
+        load_store_unit(4, 1010),
+        load_store_unit(9, 1011),
+        load_store_unit(15, 1012),
+        ooo_invariant(9, 2),
+        ooo_invariant(12, 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_forty_nine_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 49);
+        let invariant = s.iter().filter(|b| b.invariant_checking).count();
+        assert_eq!(invariant, 10);
+        assert_eq!(s.len() - invariant, 39);
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let s = suite();
+        let names: std::collections::HashSet<&str> = s.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn suite_spans_two_orders_of_magnitude() {
+        let s = suite();
+        let sizes: Vec<usize> = s.iter().map(Benchmark::dag_size).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min >= 20, "smallest benchmark too small: {min}");
+        assert!(max >= 1500, "largest benchmark too small: {max}");
+        assert!(max / min.max(1) >= 20, "not enough spread: {min}..{max}");
+    }
+
+    #[test]
+    fn training_sample_is_sixteen_and_covers_domains() {
+        let s = training_sample();
+        assert_eq!(s.len(), 16);
+        let domains: std::collections::HashSet<Domain> = s.iter().map(|b| b.domain).collect();
+        assert!(domains.len() >= 6);
+    }
+
+    #[test]
+    fn every_constructed_benchmark_claims_validity() {
+        for b in suite() {
+            assert_eq!(b.expected, Some(true), "{}", b.name);
+        }
+    }
+}

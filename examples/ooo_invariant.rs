@@ -1,0 +1,52 @@
+//! Invariant checking for an out-of-order instruction queue — the workload
+//! family where the paper found SD decisively better than EIJ (Figure 5).
+//!
+//! Shows the structural analysis behind the effect: one large equivalence
+//! class, many separation predicates, and the resulting EIJ
+//! transitivity-constraint counts versus SD clause counts.
+//!
+//! ```text
+//! cargo run --release --example ooo_invariant
+//! ```
+
+use sufsat::workloads::ooo_invariant;
+use sufsat::{decide, DecideOptions, EncodingMode, StopReason};
+
+fn main() {
+    println!(
+        "{:>10} {:>7} {:>10} | {:>12} {:>12} | {:>12}",
+        "benchmark", "nodes", "sep-preds", "SD clauses", "EIJ clauses", "EIJ trans"
+    );
+    for (tags, density) in [(4, 2), (6, 2), (8, 1), (10, 1)] {
+        let mut bench = ooo_invariant(tags, density);
+        let nodes = bench.dag_size();
+
+        let mut sd_opts = DecideOptions::with_mode(EncodingMode::Sd);
+        sd_opts.timeout = Some(std::time::Duration::from_secs(20));
+        let sd = decide(&mut bench.tm, bench.formula, &sd_opts);
+        assert!(sd.outcome.is_valid(), "the invariant is inductive");
+
+        let mut eij_opts = DecideOptions::with_mode(EncodingMode::Eij);
+        eij_opts.timeout = Some(std::time::Duration::from_secs(20));
+        eij_opts.trans_budget = 500_000;
+        let eij = decide(&mut bench.tm, bench.formula, &eij_opts);
+        let eij_clauses = match &eij.outcome {
+            sufsat::Outcome::Unknown(StopReason::TranslationBudget) => "blow-up".to_owned(),
+            _ => eij.stats.cnf_clauses.to_string(),
+        };
+        println!(
+            "{:>10} {:>7} {:>10} | {:>12} {:>12} | {:>12}",
+            bench.name,
+            nodes,
+            sd.stats.sep_predicates,
+            sd.stats.cnf_clauses,
+            eij_clauses,
+            eij.stats.trans_clauses,
+        );
+    }
+    println!(
+        "\nNote how the transitivity-constraint count races ahead of the SD\n\
+         clause count as the class grows — the regime of the paper's\n\
+         Figure 5, where the hybrid must fall back to SD."
+    );
+}

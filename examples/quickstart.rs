@@ -1,0 +1,87 @@
+//! Quickstart: build an SUF formula, decide it with every encoding mode,
+//! and inspect counterexamples.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sufsat::{decide, DecideOptions, EncodingMode, Outcome, TermManager};
+
+fn main() {
+    let mut tm = TermManager::new();
+
+    // --- a valid formula: functional consistency with ordering ----------
+    // (x = y  ∧  y < z)  =>  (f(x) = f(y)  ∧  x < z)
+    let f = tm.declare_fun("f", 1);
+    let x = tm.int_var("x");
+    let y = tm.int_var("y");
+    let z = tm.int_var("z");
+    let fx = tm.mk_app(f, vec![x]);
+    let fy = tm.mk_app(f, vec![y]);
+    let eq_xy = tm.mk_eq(x, y);
+    let lt_yz = tm.mk_lt(y, z);
+    let hyp = tm.mk_and(eq_xy, lt_yz);
+    let eq_f = tm.mk_eq(fx, fy);
+    let lt_xz = tm.mk_lt(x, z);
+    let conc = tm.mk_and(eq_f, lt_xz);
+    let valid_formula = tm.mk_implies(hyp, conc);
+
+    println!("formula: {}", sufsat::print_term(&tm, valid_formula));
+    for mode in [
+        EncodingMode::Sd,
+        EncodingMode::Eij,
+        EncodingMode::Hybrid(sufsat::DEFAULT_SEP_THOLD),
+    ] {
+        let d = decide(&mut tm, valid_formula, &DecideOptions::with_mode(mode));
+        println!(
+            "  {mode:?}: {:?}  (cnf clauses: {}, conflict clauses: {}, \
+             sep predicates: {})",
+            outcome_label(&d.outcome),
+            d.stats.cnf_clauses,
+            d.stats.conflict_clauses,
+            d.stats.sep_predicates
+        );
+        assert!(d.outcome.is_valid());
+    }
+
+    // --- an invalid formula: the converse of functional consistency -----
+    let hyp2 = tm.mk_eq(fx, fy);
+    let conc2 = tm.mk_eq(x, y);
+    let invalid_formula = tm.mk_implies(hyp2, conc2);
+    println!("\nformula: {}", sufsat::print_term(&tm, invalid_formula));
+    let d = decide(&mut tm, invalid_formula, &DecideOptions::default());
+    match &d.outcome {
+        Outcome::Invalid(cex) => {
+            println!("  invalid; one falsifying assignment:");
+            let mut entries: Vec<(String, i64)> = cex
+                .ints
+                .iter()
+                .map(|(&v, &val)| (tm.int_var_name(v).to_owned(), val))
+                .collect();
+            entries.sort();
+            for (name, val) in entries {
+                println!("    {name} = {val}");
+            }
+        }
+        other => panic!("expected invalid, got {other:?}"),
+    }
+
+    // --- the same problem via the text format ----------------------------
+    let mut tm2 = TermManager::new();
+    let phi = sufsat::parse_problem(
+        &mut tm2,
+        "(vars a b) (funs (g 1))
+         (formula (=> (= a b) (= (g a) (g b))))",
+    )
+    .expect("parses");
+    let d = decide(&mut tm2, phi, &DecideOptions::default());
+    println!("\nparsed formula is {}", outcome_label(&d.outcome));
+}
+
+fn outcome_label(outcome: &Outcome) -> &'static str {
+    match outcome {
+        Outcome::Valid => "valid",
+        Outcome::Invalid(_) => "invalid",
+        Outcome::Unknown(_) => "unknown",
+    }
+}

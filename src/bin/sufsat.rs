@@ -1,0 +1,158 @@
+//! `sufsat` — command-line decision procedure for SUF formulas.
+//!
+//! ```text
+//! sufsat [OPTIONS] [FILE]
+//!
+//! Reads a problem in the s-expression format (from FILE or stdin):
+//!     (vars x y) (funs (f 1))
+//!     (formula (=> (= x y) (= (f x) (f y))))
+//!
+//! Options:
+//!     --mode sd|eij|hybrid|fixed   encoding selection (default: hybrid)
+//!     --septhold N                 hybrid threshold (default: 700)
+//!     --cnf tseitin|pg             CNF conversion (default: tseitin)
+//!     --timeout SECS               SAT wall-clock timeout
+//!     --stats                      print the measurement block
+//!     --counterexample             print the falsifying assignment
+//! Exit code: 0 valid, 1 invalid, 2 unknown/error.
+//! ```
+
+use std::io::Read;
+use std::time::Duration;
+
+use sufsat::{decide, CnfMode, DecideOptions, EncodingMode, Outcome, TermManager};
+
+fn main() {
+    let mut mode = EncodingMode::Hybrid(sufsat::DEFAULT_SEP_THOLD);
+    let mut septhold: Option<usize> = None;
+    let mut cnf = CnfMode::Tseitin;
+    let mut timeout: Option<Duration> = None;
+    let mut show_stats = false;
+    let mut show_cex = false;
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mode" => {
+                let v = args.next().unwrap_or_else(|| die("--mode needs a value"));
+                mode = match v.as_str() {
+                    "sd" => EncodingMode::Sd,
+                    "eij" => EncodingMode::Eij,
+                    "hybrid" => EncodingMode::Hybrid(sufsat::DEFAULT_SEP_THOLD),
+                    "fixed" => EncodingMode::FixedHybrid,
+                    other => die(&format!("unknown mode `{other}`")),
+                };
+            }
+            "--septhold" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--septhold needs a value"));
+                septhold = Some(v.parse().unwrap_or_else(|_| die("bad --septhold")));
+            }
+            "--cnf" => {
+                let v = args.next().unwrap_or_else(|| die("--cnf needs a value"));
+                cnf = match v.as_str() {
+                    "tseitin" => CnfMode::Tseitin,
+                    "pg" => CnfMode::PlaistedGreenbaum,
+                    other => die(&format!("unknown cnf mode `{other}`")),
+                };
+            }
+            "--timeout" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--timeout needs a value"));
+                let secs: f64 = v.parse().unwrap_or_else(|_| die("bad --timeout"));
+                timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--stats" => show_stats = true,
+            "--counterexample" => show_cex = true,
+            "--help" | "-h" => {
+                println!("usage: sufsat [--mode sd|eij|hybrid|fixed] [--septhold N]");
+                println!("              [--cnf tseitin|pg] [--timeout SECS]");
+                println!("              [--stats] [--counterexample] [FILE]");
+                return;
+            }
+            other if !other.starts_with('-') => file = Some(other.to_owned()),
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+    if let (EncodingMode::Hybrid(_), Some(t)) = (mode, septhold) {
+        mode = EncodingMode::Hybrid(t);
+    }
+
+    let source = match &file {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+            buf
+        }
+    };
+
+    let mut tm = TermManager::new();
+    let phi = sufsat::parse_problem(&mut tm, &source).unwrap_or_else(|e| die(&e.to_string()));
+
+    let options = DecideOptions {
+        mode,
+        cnf,
+        timeout,
+        ..DecideOptions::default()
+    };
+    let decision = decide(&mut tm, phi, &options);
+
+    if show_stats {
+        let s = &decision.stats;
+        eprintln!(
+            "; nodes={} sep-preds={} classes={} (sd {}, eij {}) cnf-clauses={} \
+             conflict-clauses={} translate={:.3}s sat={:.3}s",
+            s.dag_size,
+            s.sep_predicates,
+            s.classes,
+            s.sd_classes,
+            s.eij_classes,
+            s.cnf_clauses,
+            s.conflict_clauses,
+            s.translate_time.as_secs_f64(),
+            s.sat_time.as_secs_f64(),
+        );
+    }
+
+    match decision.outcome {
+        Outcome::Valid => {
+            println!("valid");
+        }
+        Outcome::Invalid(cex) => {
+            println!("invalid");
+            if show_cex {
+                let mut entries: Vec<(String, String)> = cex
+                    .ints
+                    .iter()
+                    .map(|(&v, &val)| (tm.int_var_name(v).to_owned(), val.to_string()))
+                    .chain(
+                        cex.bools
+                            .iter()
+                            .map(|(&b, &val)| (tm.bool_var_name(b).to_owned(), val.to_string())),
+                    )
+                    .collect();
+                entries.sort();
+                for (name, val) in entries {
+                    println!("  {name} = {val}");
+                }
+            }
+            std::process::exit(1);
+        }
+        Outcome::Unknown(reason) => {
+            println!("unknown ({reason:?})");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sufsat: {msg}");
+    std::process::exit(2);
+}
