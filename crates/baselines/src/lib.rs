@@ -23,8 +23,8 @@ pub use svc::{decide_svc, SvcOptions, SvcStats};
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::HashSet;
+    use sufsat_prng::Prng;
     use sufsat_core::{decide, DecideOptions, EncodingMode, Outcome};
     use sufsat_seplog::{brute_force_validity, OracleResult, SepAnalysis};
     use sufsat_suf::{TermId, TermManager};
@@ -96,38 +96,44 @@ mod prop_tests {
         }
     }
 
-    fn recipe_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-        prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..16)
+    fn random_recipe(rng: &mut Prng) -> Vec<(u8, u8, u8)> {
+        let len = rng.random_range(2usize..16);
+        (0..len)
+            .map(|_| (rng.random_u8(), rng.random_u8(), rng.random_u8()))
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// The lazy and SVC baselines agree with the oracle and with the
-        /// eager hybrid procedure on random separation formulas.
-        #[test]
-        fn baselines_agree_with_oracle_and_hybrid(recipe in recipe_strategy()) {
+    /// The lazy and SVC baselines agree with the oracle and with the
+    /// eager hybrid procedure on random separation formulas.
+    #[test]
+    fn baselines_agree_with_oracle_and_hybrid() {
+        let mut rng = Prng::seed_from_u64(0xba5e_0001);
+        for _case in 0..32 {
+            let recipe = random_recipe(&mut rng);
             let mut tm = TermManager::new();
             let phi = build_random_sep(&mut tm, &recipe, 3);
             let analysis = SepAnalysis::new(&tm, phi, &HashSet::new());
-            let expected =
-                match brute_force_validity(&tm, phi, &analysis, 1, 300_000) {
-                    OracleResult::Valid => true,
-                    OracleResult::Invalid(_) => false,
-                    OracleResult::TooLarge => return Ok(()),
-                };
+            let expected = match brute_force_validity(&tm, phi, &analysis, 1, 300_000) {
+                OracleResult::Valid => true,
+                OracleResult::Invalid(_) => false,
+                OracleResult::TooLarge => continue,
+            };
             let (lazy_out, _) = decide_lazy(&mut tm, phi, &LazyOptions::default());
-            prop_assert_eq!(lazy_out.is_valid(), expected, "lazy");
-            prop_assert!(!matches!(lazy_out, Outcome::Unknown(_)));
+            assert_eq!(lazy_out.is_valid(), expected, "lazy, recipe {recipe:?}");
+            assert!(!matches!(lazy_out, Outcome::Unknown(_)));
             let (svc_out, _) = decide_svc(&mut tm, phi, &SvcOptions::default());
-            prop_assert_eq!(svc_out.is_valid(), expected, "svc");
-            prop_assert!(!matches!(svc_out, Outcome::Unknown(_)));
+            assert_eq!(svc_out.is_valid(), expected, "svc, recipe {recipe:?}");
+            assert!(!matches!(svc_out, Outcome::Unknown(_)));
             let hybrid = decide(
                 &mut tm,
                 phi,
                 &DecideOptions::with_mode(EncodingMode::Hybrid(2)),
             );
-            prop_assert_eq!(hybrid.outcome.is_valid(), expected, "hybrid");
+            assert_eq!(
+                hybrid.outcome.is_valid(),
+                expected,
+                "hybrid, recipe {recipe:?}"
+            );
         }
     }
 }

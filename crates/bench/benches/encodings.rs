@@ -1,14 +1,16 @@
-//! Criterion benchmarks of the encoding pipeline: SD vs EIJ vs HYBRID per
+//! Micro-benchmarks of the encoding pipeline: SD vs EIJ vs HYBRID per
 //! benchmark family (the per-figure wall-clock measurements live in the
 //! `paper-eval` binary; these benches track the encoder itself), plus the
 //! ablations called out in DESIGN.md §7: Tseitin vs Plaisted–Greenbaum and
 //! positive-equality exploitation on/off.
+//!
+//! Runs in smoke mode by default; set `SUFSAT_BENCH_FULL=1` for timed
+//! statistics (see `sufsat_bench::microbench`).
 
 use std::collections::HashSet;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use sufsat_bench::microbench::Runner;
 use sufsat_bench::{run, Method};
 use sufsat_core::{decide, CnfMode, DecideOptions, EncodingMode};
 use sufsat_encode::{
@@ -18,35 +20,28 @@ use sufsat_seplog::SepAnalysis;
 use sufsat_suf::eliminate;
 use sufsat_workloads::{ooo_invariant, pipeline, translation_validation};
 
-fn bench_encode_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode/modes");
-    group.sample_size(20);
+fn bench_encode_modes(r: &Runner) {
     for mode in [
         EncodingMode::Sd,
         EncodingMode::Eij,
         EncodingMode::Hybrid(50),
     ] {
-        group.bench_function(format!("{mode:?}"), |b| {
-            // Pre-eliminate once; measure encoding alone.
-            let mut bench = ooo_invariant(8, 2);
-            let elim = eliminate(&mut bench.tm, bench.formula);
-            let analysis = SepAnalysis::new(&bench.tm, elim.formula, &elim.p_vars);
-            let opts = EncodeOptions {
-                mode,
-                ..EncodeOptions::default()
-            };
-            b.iter(|| {
-                let encoded = encode(&bench.tm, elim.formula, &analysis, &opts).expect("budget");
-                black_box(encoded.stats.gates)
-            });
+        // Pre-eliminate once; measure encoding alone.
+        let mut bench = ooo_invariant(8, 2);
+        let elim = eliminate(&mut bench.tm, bench.formula);
+        let analysis = SepAnalysis::new(&bench.tm, elim.formula, &elim.p_vars);
+        let opts = EncodeOptions {
+            mode,
+            ..EncodeOptions::default()
+        };
+        r.bench(&format!("encode/modes/{mode:?}"), || {
+            let encoded = encode(&bench.tm, elim.formula, &analysis, &opts).expect("budget");
+            encoded.stats.gates
         });
     }
-    group.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decide/end-to-end");
-    group.sample_size(10);
+fn bench_end_to_end(r: &Runner) {
     type MakeBench = fn() -> sufsat_workloads::Benchmark;
     let cases: Vec<(&str, MakeBench)> = vec![
         ("pipeline", || pipeline(4, 3, 7)),
@@ -55,111 +50,93 @@ fn bench_end_to_end(c: &mut Criterion) {
     ];
     for (name, make) in cases {
         for method in [Method::Sd, Method::Eij, Method::Hybrid(50)] {
-            group.bench_function(format!("{name}/{}", method.label()), |b| {
-                b.iter(|| {
-                    let mut bench = make();
-                    let r = run(&mut bench, method, Duration::from_secs(60));
-                    black_box(r.completed)
-                });
+            r.bench(&format!("decide/end-to-end/{name}/{}", method.label()), || {
+                let mut bench = make();
+                let result = run(&mut bench, method, Duration::from_secs(60));
+                result.completed
             });
         }
     }
-    group.finish();
 }
 
 /// Ablation: Tseitin vs Plaisted–Greenbaum CNF conversion (DESIGN.md §7.1).
-fn bench_cnf_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decide/cnf-ablation");
-    group.sample_size(10);
+fn bench_cnf_ablation(r: &Runner) {
     for cnf in [CnfMode::Tseitin, CnfMode::PlaistedGreenbaum] {
-        group.bench_function(format!("{cnf:?}"), |b| {
-            b.iter(|| {
-                let mut bench = pipeline(6, 3, 7);
-                let mut options = DecideOptions::with_mode(EncodingMode::Sd);
-                options.cnf = cnf;
-                let d = decide(&mut bench.tm, bench.formula, &options);
-                assert!(d.outcome.is_valid());
-                black_box(d.stats.cnf_clauses)
-            });
+        r.bench(&format!("decide/cnf-ablation/{cnf:?}"), || {
+            let mut bench = pipeline(6, 3, 7);
+            let mut options = DecideOptions::with_mode(EncodingMode::Sd);
+            options.cnf = cnf;
+            let d = decide(&mut bench.tm, bench.formula, &options);
+            assert!(d.outcome.is_valid());
+            d.stats.cnf_clauses
         });
     }
-    group.finish();
 }
 
 /// Ablation: positive equality on/off — treating every constant as `V_g`
 /// (DESIGN.md §7.3). "Off" forces the analysis to drop `V_p`.
-fn bench_peq_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode/peq-ablation");
-    group.sample_size(10);
+fn bench_peq_ablation(r: &Runner) {
     for keep_p in [true, false] {
         let label = if keep_p {
             "positive-equality"
         } else {
             "all-general"
         };
-        group.bench_function(label, |b| {
-            let mut bench = pipeline(6, 3, 9);
-            let elim = eliminate(&mut bench.tm, bench.formula);
-            let p_vars = if keep_p {
-                elim.p_vars.clone()
-            } else {
-                HashSet::new()
-            };
-            let analysis = SepAnalysis::new(&bench.tm, elim.formula, &p_vars);
-            let opts = EncodeOptions {
-                mode: EncodingMode::Sd,
-                ..EncodeOptions::default()
-            };
-            b.iter(|| {
-                let encoded = encode(&bench.tm, elim.formula, &analysis, &opts).expect("budget");
-                black_box(encoded.stats.gates)
-            });
+        let mut bench = pipeline(6, 3, 9);
+        let elim = eliminate(&mut bench.tm, bench.formula);
+        let p_vars = if keep_p {
+            elim.p_vars.clone()
+        } else {
+            HashSet::new()
+        };
+        let analysis = SepAnalysis::new(&bench.tm, elim.formula, &p_vars);
+        let opts = EncodeOptions {
+            mode: EncodingMode::Sd,
+            ..EncodeOptions::default()
+        };
+        r.bench(&format!("encode/peq-ablation/{label}"), || {
+            let encoded = encode(&bench.tm, elim.formula, &analysis, &opts).expect("budget");
+            encoded.stats.gates
         });
     }
-    group.finish();
 }
 
 /// Ablation: elimination order for transitivity generation
 /// (DESIGN.md §7.2).
-fn bench_elim_order(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trans/elim-order");
-    group.sample_size(10);
+fn bench_elim_order(r: &Runner) {
     // A dense difference-constraint class extracted from the invariant
     // family's shape.
     let mut tm = sufsat_suf::TermManager::new();
     let vars: Vec<sufsat_suf::VarSym> = (0..10).map(|i| tm.int_var_sym(&format!("v{i}"))).collect();
     for order in [ElimOrder::MinDegree, ElimOrder::InputOrder] {
-        group.bench_function(format!("{order:?}"), |b| {
-            b.iter(|| {
-                let mut circuit = Circuit::new();
-                let mut table = BoundTable::new();
-                for i in 0..vars.len() {
-                    for j in i + 1..vars.len() {
-                        table.bound(&mut circuit, vars[i], vars[j], (i % 3) as i64 - 1);
-                    }
+        r.bench(&format!("trans/elim-order/{order:?}"), || {
+            let mut circuit = Circuit::new();
+            let mut table = BoundTable::new();
+            for i in 0..vars.len() {
+                for j in i + 1..vars.len() {
+                    table.bound(&mut circuit, vars[i], vars[j], (i % 3) as i64 - 1);
                 }
-                let clauses = generate_transitivity_ordered(
-                    &mut circuit,
-                    &mut table,
-                    &vars,
-                    10_000_000,
-                    None,
-                    order,
-                )
-                .expect("budget");
-                black_box(clauses.len())
-            });
+            }
+            let clauses = generate_transitivity_ordered(
+                &mut circuit,
+                &mut table,
+                &vars,
+                10_000_000,
+                None,
+                None,
+                order,
+            )
+            .expect("budget");
+            clauses.len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_encode_modes,
-    bench_end_to_end,
-    bench_cnf_ablation,
-    bench_peq_ablation,
-    bench_elim_order
-);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_env();
+    bench_encode_modes(&runner);
+    bench_end_to_end(&runner);
+    bench_cnf_ablation(&runner);
+    bench_peq_ablation(&runner);
+    bench_elim_order(&runner);
+}

@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks of the CDCL SAT solver substrate, including
-//! the heuristic ablations called out in DESIGN.md (§7.4).
+//! Micro-benchmarks of the CDCL SAT solver substrate, including the
+//! heuristic ablations called out in DESIGN.md (§7.4).
+//!
+//! Runs in smoke mode by default; set `SUFSAT_BENCH_FULL=1` for timed
+//! statistics (see `sufsat_bench::microbench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use sufsat_bench::microbench::Runner;
 use sufsat_sat::{Config, Lit, SolveResult, Solver, Var};
 
 /// Pigeonhole PHP(n+1, n) clauses.
@@ -56,39 +58,30 @@ fn random_3sat(solver: &mut Solver, n_vars: usize, seed: u64) {
     }
 }
 
-fn bench_pigeonhole(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat/pigeonhole");
+fn bench_pigeonhole(r: &Runner) {
     for holes in [6usize, 7] {
-        group.bench_function(format!("php{holes}"), |b| {
-            b.iter(|| {
-                let mut solver = Solver::new();
-                pigeonhole(&mut solver, holes);
-                assert_eq!(solver.solve(), SolveResult::Unsat);
-                black_box(solver.stats().conflicts)
-            });
+        r.bench(&format!("sat/pigeonhole/php{holes}"), || {
+            let mut solver = Solver::new();
+            pigeonhole(&mut solver, holes);
+            assert_eq!(solver.solve(), SolveResult::Unsat);
+            solver.stats().conflicts
         });
     }
-    group.finish();
 }
 
-fn bench_random_3sat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat/random3sat");
+fn bench_random_3sat(r: &Runner) {
     for n in [100usize, 200] {
-        group.bench_function(format!("n{n}"), |b| {
-            b.iter(|| {
-                let mut solver = Solver::new();
-                random_3sat(&mut solver, n, 42);
-                assert_eq!(solver.solve(), SolveResult::Sat);
-                black_box(solver.stats().decisions)
-            });
+        r.bench(&format!("sat/random3sat/n{n}"), || {
+            let mut solver = Solver::new();
+            random_3sat(&mut solver, n, 42);
+            assert_eq!(solver.solve(), SolveResult::Sat);
+            solver.stats().decisions
         });
     }
-    group.finish();
 }
 
 /// Ablation: phase saving / restarts / DB reduction on-off (DESIGN.md §7.4).
-fn bench_sat_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat/ablation");
+fn bench_sat_ablation(r: &Runner) {
     let variants: Vec<(&str, Config)> = vec![
         ("default", Config::default()),
         (
@@ -114,22 +107,18 @@ fn bench_sat_ablation(c: &mut Criterion) {
         ),
     ];
     for (name, config) in variants {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut solver = Solver::with_config(config.clone());
-                pigeonhole(&mut solver, 6);
-                assert_eq!(solver.solve(), SolveResult::Unsat);
-                black_box(solver.stats().conflicts)
-            });
+        r.bench(&format!("sat/ablation/{name}"), || {
+            let mut solver = Solver::with_config(config.clone());
+            pigeonhole(&mut solver, 6);
+            assert_eq!(solver.solve(), SolveResult::Unsat);
+            solver.stats().conflicts
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pigeonhole,
-    bench_random_3sat,
-    bench_sat_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_env();
+    bench_pigeonhole(&runner);
+    bench_random_3sat(&runner);
+    bench_sat_ablation(&runner);
+}

@@ -1,12 +1,16 @@
 //! Regenerates every table and figure of the paper's evaluation (§3–§5).
 //!
 //! ```text
-//! paper-eval [--timeout SECS] [--septhold N] [--csv DIR]
-//!            [fig2|fig3|fig4|fig5|fig6|threshold|all|dump DIR]
+//! paper-eval [--timeout SECS] [--septhold N] [--csv DIR] [--jobs N]
+//!            [fig2|fig3|fig4|fig5|fig6|fig-portfolio|threshold|all|dump DIR]
 //! ```
 //!
 //! `--csv DIR` additionally writes machine-readable result tables
-//! (`threshold.csv`, `fig2.csv`, …) under DIR.
+//! (`threshold.csv`, `fig2.csv`, …) under DIR. `--jobs N` fans independent
+//! (benchmark, method) runs across N worker threads; results and printed
+//! tables are identical to `--jobs 1` runs up to timing noise, because the
+//! harness reassembles them in input order. Use `--jobs 1` (the default)
+//! when wall-clock numbers must not contend for cores.
 //!
 //! * `threshold` — §4.1: EIJ runtimes on the 16-benchmark training sample,
 //!   variance-minimizing split, automatic `SEP_THOLD` (paper value: 700).
@@ -26,7 +30,7 @@
 
 use std::time::Duration;
 
-use sufsat_bench::{fmt_time, run, Method, RunResult};
+use sufsat_bench::{fmt_time, parallel_map, run, Method, RunResult};
 use sufsat_core::{select_threshold, ThresholdSample};
 use sufsat_workloads::{suite, training_sample, Benchmark};
 
@@ -34,6 +38,7 @@ struct Config {
     timeout: Duration,
     septhold: Option<usize>,
     csv_dir: Option<std::path::PathBuf>,
+    jobs: usize,
 }
 
 impl Config {
@@ -64,6 +69,7 @@ fn main() {
         timeout: Duration::from_secs(10),
         septhold: None,
         csv_dir: None,
+        jobs: 1,
     };
     let mut command = "all".to_owned();
     let mut args_rest: Option<String> = None;
@@ -81,6 +87,10 @@ fn main() {
             "--csv" => {
                 let v = args.next().expect("--csv needs a directory");
                 config.csv_dir = Some(v.into());
+            }
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                config.jobs = v.parse().expect("--jobs must be an integer");
             }
             other => {
                 if command != "all" && args_rest.is_none() {
@@ -105,18 +115,21 @@ fn main() {
         "fig4" => fig4(&config),
         "fig5" => fig5(&config),
         "fig6" => fig6(&config),
+        "fig-portfolio" => fig_portfolio(&config),
         "all" => {
             let t = threshold_experiment(&config, true);
             let c = Config {
                 timeout: config.timeout,
                 septhold: Some(config.septhold.unwrap_or(t)),
                 csv_dir: config.csv_dir.clone(),
+                jobs: config.jobs,
             };
             fig2(&c);
             fig3(&c);
             fig4(&c);
             fig5(&c);
             fig6(&c);
+            fig_portfolio(&c);
         }
         other => {
             eprintln!("unknown command `{other}`");
@@ -176,8 +189,10 @@ fn threshold_experiment(config: &Config, verbose: bool) -> usize {
         "{:>14} {:>7} {:>10} {:>12}  status",
         "benchmark", "nodes", "sep-preds", "EIJ norm"
     );
-    for mut bench in training_sample() {
-        let r = run(&mut bench, Method::Eij, config.timeout);
+    let results = parallel_map(training_sample(), config.jobs, |_, mut bench| {
+        run(&mut bench, Method::Eij, config.timeout)
+    });
+    for r in results {
         let norm = r.normalized_time();
         samples.push(ThresholdSample {
             normalized_time: norm,
@@ -237,9 +252,12 @@ fn fig2(config: &Config) {
         }
     }
     let mut rows: Vec<String> = Vec::new();
-    for bench in &mut benches {
-        let sd = run(bench, Method::Sd, config.timeout);
-        let eij = run(bench, Method::Eij, config.timeout);
+    let pairs = parallel_map(benches, config.jobs, |_, mut bench| {
+        let sd = run(&mut bench, Method::Sd, config.timeout);
+        let eij = run(&mut bench, Method::Eij, config.timeout);
+        (sd, eij)
+    });
+    for (sd, eij) in &pairs {
         println!(
             "{:>14} | {:>10} {:>10} | {:>9} {:>9} | {:>8.2}s {:>8.2}s",
             sd.name,
@@ -279,12 +297,12 @@ fn fig3(config: &Config) {
         "{:>14} {:>10} {:>14} {:>14}",
         "benchmark", "sep-preds", "SD s/Knodes", "EIJ s/Knodes"
     );
-    let mut rows: Vec<(usize, String, RunResult, RunResult)> = Vec::new();
-    for mut bench in training_sample() {
-        let sd = run(&mut bench, Method::Sd, config.timeout);
-        let eij = run(&mut bench, Method::Eij, config.timeout);
-        rows.push((sd.sep_predicates, sd.name.clone(), sd, eij));
-    }
+    let mut rows: Vec<(usize, String, RunResult, RunResult)> =
+        parallel_map(training_sample(), config.jobs, |_, mut bench| {
+            let sd = run(&mut bench, Method::Sd, config.timeout);
+            let eij = run(&mut bench, Method::Eij, config.timeout);
+            (sd.sep_predicates, sd.name.clone(), sd, eij)
+        });
     rows.sort_by_key(|r| r.0);
     let csv_rows: Vec<String> = rows
         .iter()
@@ -326,17 +344,18 @@ fn fig3(config: &Config) {
 }
 
 /// Figures 4 and 6 share the 39 non-invariant benchmarks.
+///
+/// One benchmark (all its methods) is one unit of parallel work; rows come
+/// back in benchmark order whatever the completion order.
 fn run_table(
-    benches: &mut [Benchmark],
+    benches: Vec<Benchmark>,
     methods: &[Method],
     timeout: Duration,
+    jobs: usize,
 ) -> Vec<Vec<RunResult>> {
-    let mut table = Vec::new();
-    for bench in benches.iter_mut() {
-        let row: Vec<RunResult> = methods.iter().map(|&m| run(bench, m, timeout)).collect();
-        table.push(row);
-    }
-    table
+    parallel_map(benches, jobs, |_, mut bench| {
+        methods.iter().map(|&m| run(&mut bench, m, timeout)).collect()
+    })
 }
 
 fn print_table(methods: &[Method], table: &[Vec<RunResult>]) {
@@ -383,8 +402,7 @@ fn fig4(config: &Config) {
         "Figure 4: HYBRID({threshold}) vs SD and EIJ (39 non-invariant benchmarks)"
     ));
     let methods = [Method::Hybrid(threshold), Method::Sd, Method::Eij];
-    let mut benches = non_invariant();
-    let table = run_table(&mut benches, &methods, config.timeout);
+    let table = run_table(non_invariant(), &methods, config.timeout, config.jobs);
     print_table(&methods, &table);
     write_table_csv(config, "fig4", &methods, &table);
     println!("shape check: HYBRID should complete everywhere and dominate overall");
@@ -415,8 +433,7 @@ fn write_table_csv(config: &Config, name: &str, methods: &[Method], table: &[Vec
 fn fig5(config: &Config) {
     banner("Figure 5: invariant-checking benchmarks (SEP_THOLD = 100)");
     let methods = [Method::Hybrid(100), Method::Sd, Method::Eij];
-    let mut benches = invariant();
-    let table = run_table(&mut benches, &methods, config.timeout);
+    let table = run_table(invariant(), &methods, config.timeout, config.jobs);
     print_table(&methods, &table);
     write_table_csv(config, "fig5", &methods, &table);
     println!("shape check: SD should win here; EIJ should time out on the large ones");
@@ -428,12 +445,75 @@ fn fig6(config: &Config) {
         "Figure 6: HYBRID({threshold}) vs SVC* and CVC* (39 non-invariant benchmarks)"
     ));
     let methods = [Method::Hybrid(threshold), Method::Svc, Method::Lazy];
-    let mut benches = non_invariant();
-    let table = run_table(&mut benches, &methods, config.timeout);
+    let table = run_table(non_invariant(), &methods, config.timeout, config.jobs);
     print_table(&methods, &table);
     write_table_csv(config, "fig6", &methods, &table);
     println!(
         "shape check: baselines may win tiny conjunctive formulas; HYBRID \
          should scale to the large disjunctive ones"
+    );
+}
+
+/// Beyond the paper: the parallel portfolio against its own lanes on the
+/// 39 non-invariant benchmarks. The paper *predicts* the better encoding
+/// with `SEP_THOLD`; the portfolio races all three and keeps whichever
+/// answers first, so it should match the per-benchmark best single lane up
+/// to racing overhead — without needing the threshold at all.
+fn fig_portfolio(config: &Config) {
+    let threshold = config.septhold.unwrap_or(sufsat_core::DEFAULT_SEP_THOLD);
+    banner(&format!(
+        "Portfolio: PORTFOLIO vs HYBRID({threshold}), SD, EIJ (39 non-invariant benchmarks)"
+    ));
+    let methods = [
+        Method::Portfolio,
+        Method::Hybrid(threshold),
+        Method::Sd,
+        Method::Eij,
+    ];
+    let table = run_table(non_invariant(), &methods, config.timeout, config.jobs);
+    print_table(&methods, &table);
+
+    // Winner distribution: which lane carried each portfolio run.
+    let mut wins: Vec<(String, usize)> = Vec::new();
+    for row in &table {
+        let Some(mode) = row[0].portfolio_winner else { continue };
+        let label = format!("{mode:?}");
+        match wins.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, n)) => *n += 1,
+            None => wins.push((label, 1)),
+        }
+    }
+    wins.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    print!("{:>22}", "lane wins:");
+    for (label, n) in &wins {
+        print!("  {label}={n}");
+    }
+    println!();
+
+    let mut header = String::from("benchmark,nodes,winner_lane");
+    for m in &methods {
+        header.push_str(&format!(",{0}_s,{0}_completed", m.label()));
+    }
+    let rows: Vec<String> = table
+        .iter()
+        .map(|row| {
+            let winner = row[0]
+                .portfolio_winner
+                .map_or_else(|| "none".to_owned(), |m| format!("{m:?}"));
+            let mut line = format!("{},{},{winner}", row[0].name, row[0].dag_size);
+            for r in row {
+                line.push_str(&format!(
+                    ",{:.4},{}",
+                    r.total_time.as_secs_f64(),
+                    r.completed
+                ));
+            }
+            line
+        })
+        .collect();
+    config.write_csv("fig-portfolio", &header, &rows);
+    println!(
+        "shape check: PORTFOLIO should complete everywhere and track the \
+         per-benchmark best lane (small overhead when lanes share cores)"
     );
 }

@@ -1,16 +1,26 @@
 //! Shared experiment runner for the paper-reproduction harness.
 //!
-//! The `paper-eval` binary and the Criterion benches both drive decision
+//! The `paper-eval` binary and the micro-benches both drive decision
 //! procedures through [`run`], which applies a wall-clock timeout (standing
 //! in for the paper's 30-minute limit, scaled down) and collects the
-//! measurements each figure reports.
+//! measurements each figure reports. [`parallel_map`] fans independent
+//! runs across a bounded worker pool (the harness's `--jobs` flag) while
+//! keeping result order deterministic, and [`Method::Portfolio`] measures
+//! the portfolio engine itself.
 
 #![warn(missing_docs)]
 
+pub mod microbench;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
 
 use sufsat_baselines::{decide_lazy, decide_svc, LazyOptions, SvcOptions};
-use sufsat_core::{decide, DecideOptions, EncodingMode, Outcome, StopReason};
+use sufsat_core::{
+    decide, decide_portfolio, DecideOptions, EncodingMode, Outcome, PortfolioOptions, StopReason,
+};
 use sufsat_workloads::Benchmark;
 
 /// Procedures compared in the paper's figures.
@@ -28,6 +38,9 @@ pub enum Method {
     Lazy,
     /// Case-splitting checker (SVC stand-in).
     Svc,
+    /// Parallel portfolio racing HYBRID, SD and EIJ lanes
+    /// ([`sufsat_core::decide_portfolio`]).
+    Portfolio,
 }
 
 impl Method {
@@ -40,6 +53,7 @@ impl Method {
             Method::FixedHybrid => "FIXED-HYB".to_owned(),
             Method::Lazy => "CVC*".to_owned(),
             Method::Svc => "SVC*".to_owned(),
+            Method::Portfolio => "PORTFOLIO".to_owned(),
         }
     }
 }
@@ -69,6 +83,8 @@ pub struct RunResult {
     pub sep_predicates: usize,
     /// DAG size of the input formula.
     pub dag_size: usize,
+    /// Winning lane's encoding mode ([`Method::Portfolio`] only).
+    pub portfolio_winner: Option<EncodingMode>,
 }
 
 impl RunResult {
@@ -101,6 +117,7 @@ pub fn run(bench: &mut Benchmark, method: Method, timeout: Duration) -> RunResul
         conflict_clauses: 0,
         sep_predicates: 0,
         dag_size,
+        portfolio_winner: None,
     };
     let outcome = match method {
         Method::Sd | Method::Eij | Method::Hybrid(_) | Method::FixedHybrid => {
@@ -139,6 +156,23 @@ pub fn run(bench: &mut Benchmark, method: Method, timeout: Duration) -> RunResul
             };
             let (outcome, _) = decide_svc(&mut bench.tm, bench.formula, &options);
             outcome
+        }
+        Method::Portfolio => {
+            let mut base = DecideOptions::default();
+            base.timeout = Some(timeout);
+            base.trans_budget = 3_000_000;
+            let options = PortfolioOptions {
+                base,
+                ..PortfolioOptions::default()
+            };
+            let d = decide_portfolio(&mut bench.tm, bench.formula, &options);
+            result.translate_time = d.stats.translate_time;
+            result.sat_time = d.stats.sat_time;
+            result.cnf_clauses = d.stats.cnf_clauses;
+            result.conflict_clauses = d.stats.conflict_clauses;
+            result.sep_predicates = d.stats.sep_predicates;
+            result.portfolio_winner = d.winner_mode();
+            d.outcome
         }
     };
     result.total_time = start.elapsed();
@@ -185,7 +219,60 @@ pub fn stop_label(reason: StopReason) -> &'static str {
         StopReason::TranslationBudget => "translation budget",
         StopReason::ConflictBudget => "conflict budget",
         StopReason::Timeout => "timeout",
+        StopReason::Cancelled => "cancelled",
     }
+}
+
+/// Maps `items` through `f` on a bounded pool of `jobs` worker threads,
+/// returning results in input order regardless of completion order.
+///
+/// `f` receives the item's input index alongside the item. With
+/// `jobs <= 1` (or a single item) the map runs on the calling thread, so
+/// `--jobs 1` harness runs measure exactly what a sequential harness
+/// would.
+pub fn parallel_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Hand out items by index from a shared dispenser; each slot is taken
+    // exactly once.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot taken once");
+                if tx.send((i, f(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every item mapped"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -225,5 +312,30 @@ mod tests {
     fn labels_are_informative() {
         assert_eq!(Method::Hybrid(700).label(), "HYBRID(700)");
         assert_eq!(Method::Lazy.label(), "CVC*");
+        assert_eq!(Method::Portfolio.label(), "PORTFOLIO");
+    }
+
+    #[test]
+    fn portfolio_method_answers_and_reports_winner() {
+        let mut bench = pipeline(2, 2, 1);
+        let r = run(&mut bench, Method::Portfolio, Duration::from_secs(30));
+        assert!(r.completed);
+        assert_eq!(r.valid, Some(true));
+        assert!(r.portfolio_winner.is_some());
+        assert!(r.cnf_clauses > 0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for jobs in [1, 3, 8, 64] {
+            let out = parallel_map(items.clone(), jobs, |i, x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "jobs {jobs}");
+        }
+        assert!(parallel_map(Vec::<usize>::new(), 4, |_, x| x).is_empty());
     }
 }

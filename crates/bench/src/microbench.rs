@@ -1,0 +1,116 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The workspace builds in fully offline environments, so the `[[bench]]`
+//! targets cannot use Criterion. This module provides the small subset the
+//! benches need: named timing groups, adaptive iteration counts, and a
+//! min/median/mean report.
+//!
+//! Bench binaries run in two modes:
+//!
+//! * **Smoke** (default, and what `cargo test` exercises): every benchmark
+//!   body runs once, so the code paths stay compiled-and-checked without
+//!   slowing the test suite down.
+//! * **Full** (`SUFSAT_BENCH_FULL=1 cargo bench`): each benchmark is timed
+//!   adaptively for roughly [`TARGET_TIME`] and a statistics line is
+//!   printed.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark in full mode.
+pub const TARGET_TIME: Duration = Duration::from_millis(300);
+
+/// Maximum sample count per benchmark in full mode.
+pub const MAX_SAMPLES: usize = 50;
+
+/// Runs named benchmarks and prints a timing report.
+#[derive(Debug)]
+pub struct Runner {
+    full: bool,
+}
+
+impl Runner {
+    /// Chooses smoke or full mode from `SUFSAT_BENCH_FULL`.
+    pub fn from_env() -> Runner {
+        Runner {
+            full: std::env::var_os("SUFSAT_BENCH_FULL").is_some(),
+        }
+    }
+
+    /// A runner pinned to smoke mode (single iteration, no timing report).
+    pub fn smoke() -> Runner {
+        Runner { full: false }
+    }
+
+    /// Times `f`, printing `name` with min/median/mean over the samples.
+    ///
+    /// The closure's return value is consumed with a volatile read so the
+    /// optimizer cannot delete the measured work.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm-up / smoke iteration, also used to size the sample count.
+        let start = Instant::now();
+        consume(f());
+        let once = start.elapsed();
+        if !self.full {
+            println!("{name}: ok ({})", fmt_duration(once));
+            return;
+        }
+        let iters = if once.is_zero() {
+            MAX_SAMPLES
+        } else {
+            (TARGET_TIME.as_nanos() / once.as_nanos().max(1)) as usize
+        }
+        .clamp(1, MAX_SAMPLES);
+        let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let start = Instant::now();
+            consume(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{name}: min {} / median {} / mean {} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+}
+
+/// Consumes a value so the compiler keeps the computation that produced it.
+fn consume<R>(value: R) {
+    let _ = std::hint::black_box(value);
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_body_once() {
+        let mut calls = 0;
+        Runner::smoke().bench("counter", || calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12us");
+        assert_eq!(fmt_duration(Duration::from_micros(4_500)), "4.50ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2_250)), "2.250s");
+    }
+}

@@ -16,7 +16,7 @@
 use std::time::{Duration, Instant};
 
 use sufsat_encode::{decode_model, encode, load_into_solver, CnfMode, EncodeOptions, EncodingMode};
-use sufsat_sat::{Interrupt, SolveResult, Solver};
+use sufsat_sat::{CancelToken, Interrupt, SolveResult, Solver};
 use sufsat_seplog::{SepAnalysis, SepAssignment};
 use sufsat_suf::{eliminate, TermId, TermManager};
 
@@ -35,6 +35,11 @@ pub struct DecideOptions {
     pub conflict_budget: Option<u64>,
     /// Optional wall-clock timeout for the SAT search.
     pub timeout: Option<Duration>,
+    /// Optional cooperative cancellation token, polled in the translation
+    /// and SAT stages. Raising it from another thread stops the run with
+    /// [`Outcome::Unknown`]`(`[`StopReason::Cancelled`]`)` — this is how
+    /// the portfolio engine retires losing lanes.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for DecideOptions {
@@ -45,6 +50,7 @@ impl Default for DecideOptions {
             trans_budget: 2_000_000,
             conflict_budget: None,
             timeout: None,
+            cancel: None,
         }
     }
 }
@@ -94,6 +100,9 @@ pub enum StopReason {
     ConflictBudget,
     /// The SAT wall-clock timeout elapsed.
     Timeout,
+    /// A [`CancelToken`] was raised from another thread (e.g. a portfolio
+    /// lane losing the race).
+    Cancelled,
 }
 
 /// Measurements of one run — the quantities the paper's evaluation reports
@@ -210,18 +219,31 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
         ..DecideStats::default()
     };
 
+    // Stage boundary: a lane cancelled during elimination/analysis should
+    // not start the (possibly expensive) encoding.
+    if cancel_requested(options) {
+        stats.translate_time = translate_start.elapsed();
+        return Decision {
+            outcome: Outcome::Unknown(StopReason::Cancelled),
+            stats,
+        };
+    }
+
     // Step 3: encode.
     let encode_options = EncodeOptions {
         mode: options.mode,
         cnf: options.cnf,
         trans_budget: options.trans_budget,
         deadline: options.timeout.map(|t| translate_start + t),
+        cancel: options.cancel.clone(),
     };
     let encoded = match encode(tm, elim.formula, &analysis, &encode_options) {
         Ok(encoded) => encoded,
         Err(err) => {
             stats.translate_time = translate_start.elapsed();
-            let reason = if err.timed_out {
+            let reason = if err.cancelled {
+                StopReason::Cancelled
+            } else if err.timed_out {
                 StopReason::Timeout
             } else {
                 StopReason::TranslationBudget
@@ -251,6 +273,7 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
 
     solver.set_conflict_budget(options.conflict_budget);
     solver.set_timeout(options.timeout);
+    solver.set_cancel_token(options.cancel.clone());
     let result = solver.solve();
     stats.sat_time = solver.stats().solve_time;
     stats.conflict_clauses = solver.stats().conflicts;
@@ -272,8 +295,13 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
             Outcome::Unknown(StopReason::ConflictBudget)
         }
         SolveResult::Unknown(Interrupt::Timeout) => Outcome::Unknown(StopReason::Timeout),
+        SolveResult::Unknown(Interrupt::Cancelled) => Outcome::Unknown(StopReason::Cancelled),
     };
     Decision { outcome, stats }
+}
+
+fn cancel_requested(options: &DecideOptions) -> bool {
+    options.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 //! SUF formula and reports the measurements the paper's evaluation uses.
 //!
 //! The automatic `SEP_THOLD` selection of paper §4.1 is provided by
-//! [`select_threshold`].
+//! [`select_threshold`]. Where the paper *predicts* the better encoding,
+//! [`decide_portfolio`] instead *races* the encodings on threads and
+//! cancels the losers — see the `portfolio` module docs.
 //!
 //! # Examples
 //!
@@ -32,11 +34,15 @@
 
 mod bmc;
 mod decide;
+mod portfolio;
 mod threshold;
 
 pub use bmc::{check_bounded, BmcResult, TransitionSystem};
 pub use decide::{
     decide, DecideOptions, DecideStats, Decision, Outcome, StopReason, DEFAULT_SEP_THOLD,
+};
+pub use portfolio::{
+    decide_many, decide_portfolio, LaneReport, PortfolioDecision, PortfolioOptions,
 };
 pub use threshold::{select_threshold, ThresholdSample};
 

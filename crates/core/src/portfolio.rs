@@ -1,0 +1,397 @@
+//! A parallel portfolio over the paper's encoding modes.
+//!
+//! The paper's central observation is that SD and EIJ dominate each other
+//! on different formulas, and its HYBRID threshold is a *prediction* of the
+//! winner. A portfolio sidesteps prediction: [`decide_portfolio`] races one
+//! [`decide`] lane per encoding mode on its own thread, takes the first
+//! definitive answer (all lanes are sound, so any definitive answer is the
+//! answer), and retires the losing lanes through their [`CancelToken`]s —
+//! cancellation reaches both a running SAT search and a blowing-up EIJ
+//! transitivity generation, so a lost race never keeps burning a core.
+//!
+//! [`decide_many`] amortizes the same idea over batch workloads with a
+//! bounded worker pool and deterministic result ordering.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sufsat_sat::CancelToken;
+use sufsat_suf::{TermId, TermManager};
+
+use crate::decide::{decide, DecideOptions, DecideStats, Decision, Outcome, DEFAULT_SEP_THOLD};
+use crate::EncodingMode;
+
+/// Options controlling [`decide_portfolio`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioOptions {
+    /// The encoding modes raced against each other, in priority order:
+    /// if every lane returns `Unknown`, the first lane's stop reason is
+    /// reported.
+    pub lanes: Vec<EncodingMode>,
+    /// Settings shared by every lane (mode and cancellation token are
+    /// overridden per lane).
+    pub base: DecideOptions,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> PortfolioOptions {
+        PortfolioOptions {
+            lanes: vec![
+                EncodingMode::Hybrid(DEFAULT_SEP_THOLD),
+                EncodingMode::Sd,
+                EncodingMode::Eij,
+            ],
+            base: DecideOptions::default(),
+        }
+    }
+}
+
+impl PortfolioOptions {
+    /// A portfolio over the given lanes with default base options.
+    pub fn with_lanes(lanes: Vec<EncodingMode>) -> PortfolioOptions {
+        PortfolioOptions {
+            lanes,
+            ..PortfolioOptions::default()
+        }
+    }
+}
+
+/// Telemetry of one portfolio lane.
+#[derive(Debug, Clone)]
+pub struct LaneReport {
+    /// The lane's encoding mode.
+    pub mode: EncodingMode,
+    /// The lane's own outcome. Losing lanes typically report
+    /// [`Outcome::Unknown`]`(`[`StopReason::Cancelled`]`)`, but a lane that
+    /// crossed the finish line before observing the cancellation reports
+    /// its genuine answer.
+    ///
+    /// [`StopReason::Cancelled`]: crate::StopReason::Cancelled
+    pub outcome: Outcome,
+    /// The lane's measurements (conflicts, clauses, stage times, …).
+    pub stats: DecideStats,
+    /// Wall-clock time the lane ran before returning.
+    pub wall_time: Duration,
+    /// Whether this lane's answer was adopted as the portfolio's answer.
+    pub won: bool,
+}
+
+/// The result of a portfolio race: the adopted outcome plus per-lane
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct PortfolioDecision {
+    /// The adopted verdict (the first definitive lane answer, or the first
+    /// lane's `Unknown` if no lane answered).
+    pub outcome: Outcome,
+    /// Index into [`PortfolioDecision::lanes`] of the winning lane, if any
+    /// lane produced a definitive answer.
+    pub winner: Option<usize>,
+    /// The winning lane's measurements (the first lane's if nobody won).
+    pub stats: DecideStats,
+    /// Per-lane telemetry, in the order of [`PortfolioOptions::lanes`].
+    pub lanes: Vec<LaneReport>,
+    /// Wall-clock time of the whole race.
+    pub wall_time: Duration,
+}
+
+impl PortfolioDecision {
+    /// The winning lane's encoding mode, if any lane won.
+    pub fn winner_mode(&self) -> Option<EncodingMode> {
+        self.winner.map(|i| self.lanes[i].mode)
+    }
+}
+
+/// Races one [`decide`] lane per encoding mode in
+/// [`PortfolioOptions::lanes`] and adopts the first definitive answer.
+///
+/// Every lane works on its own clone of `tm`, so the lanes cannot contend;
+/// when a lane wins, `tm` is replaced by the winner's manager, which names
+/// the fresh constants a counterexample assignment refers to — exactly as
+/// if [`decide`] had been called directly with the winning mode. If no lane
+/// answers, `tm` keeps its original contents.
+///
+/// Losing lanes are cancelled cooperatively and their partial measurements
+/// are still reported in [`PortfolioDecision::lanes`].
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_core::{decide_portfolio, PortfolioOptions};
+/// use sufsat_suf::TermManager;
+///
+/// let mut tm = TermManager::new();
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let lt = tm.mk_lt(x, y);
+/// let ge = tm.mk_ge(x, y);
+/// let phi = tm.mk_or(lt, ge); // totality of the order: valid
+/// let d = decide_portfolio(&mut tm, phi, &PortfolioOptions::default());
+/// assert!(d.outcome.is_valid());
+/// assert!(d.winner.is_some());
+/// ```
+///
+/// # Panics
+///
+/// Panics if [`PortfolioOptions::lanes`] is empty.
+pub fn decide_portfolio(
+    tm: &mut TermManager,
+    phi: TermId,
+    options: &PortfolioOptions,
+) -> PortfolioDecision {
+    assert!(
+        !options.lanes.is_empty(),
+        "portfolio needs at least one lane"
+    );
+    let start = Instant::now();
+    let tokens: Vec<CancelToken> = options.lanes.iter().map(|_| CancelToken::new()).collect();
+
+    let (mut slots, winner) = {
+        let tm_ref: &TermManager = tm;
+        thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for (i, (&mode, token)) in options.lanes.iter().zip(&tokens).enumerate() {
+                let tx = tx.clone();
+                let token = token.clone();
+                let base = &options.base;
+                scope.spawn(move || {
+                    let mut lane_tm = tm_ref.clone();
+                    let mut lane_options = base.clone();
+                    lane_options.mode = mode;
+                    lane_options.cancel = Some(token);
+                    let lane_start = Instant::now();
+                    let decision = decide(&mut lane_tm, phi, &lane_options);
+                    // The receiver hanging up (it never does) is not an
+                    // error worth unwinding over.
+                    let _ = tx.send((i, decision, lane_tm, lane_start.elapsed()));
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<(Decision, TermManager, Duration)>> =
+                options.lanes.iter().map(|_| None).collect();
+            let mut winner: Option<usize> = None;
+            for (i, decision, lane_tm, wall) in rx {
+                let definitive = !matches!(decision.outcome, Outcome::Unknown(_));
+                slots[i] = Some((decision, lane_tm, wall));
+                if definitive && winner.is_none() {
+                    winner = Some(i);
+                    for (j, other) in tokens.iter().enumerate() {
+                        if j != i {
+                            other.cancel();
+                        }
+                    }
+                }
+            }
+            (slots, winner)
+        })
+    };
+
+    let mut lanes: Vec<LaneReport> = Vec::with_capacity(options.lanes.len());
+    for (i, slot) in slots.iter().enumerate() {
+        let (decision, _, wall) = slot.as_ref().expect("every lane reports");
+        lanes.push(LaneReport {
+            mode: options.lanes[i],
+            outcome: decision.outcome.clone(),
+            stats: decision.stats.clone(),
+            wall_time: *wall,
+            won: winner == Some(i),
+        });
+    }
+
+    let adopted = winner.unwrap_or(0);
+    let (decision, lane_tm, _) = slots[adopted].take().expect("every lane reports");
+    if winner.is_some() {
+        // Adopt the winner's manager so counterexample symbols resolve.
+        *tm = lane_tm;
+    }
+    PortfolioDecision {
+        outcome: decision.outcome,
+        winner,
+        stats: decision.stats,
+        lanes,
+        wall_time: start.elapsed(),
+    }
+}
+
+/// Decides a batch of formulas with a bounded worker pool, each item
+/// through [`decide_portfolio`].
+///
+/// Results come back in input order regardless of completion order. Each
+/// item runs against its own clone of `tm`; counterexample assignments in
+/// the results refer to fresh constants of those internal clones (original
+/// symbols of `tm` keep their identity in every clone).
+///
+/// `jobs` is clamped to at least 1. With `jobs == 1` items run strictly
+/// sequentially (though each item still races its lanes).
+pub fn decide_many(
+    tm: &TermManager,
+    formulas: &[TermId],
+    options: &PortfolioOptions,
+    jobs: usize,
+) -> Vec<PortfolioDecision> {
+    let workers = jobs.max(1).min(formulas.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<PortfolioDecision>> = formulas.iter().map(|_| None).collect();
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&phi) = formulas.get(i) else { break };
+                let mut item_tm = tm.clone();
+                let decision = decide_portfolio(&mut item_tm, phi, options);
+                if tx.send((i, decision)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, decision) in rx {
+            results[i] = Some(decision);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every item decided"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StopReason;
+
+    fn paper_example(tm: &mut TermManager) -> TermId {
+        // ¬(x ≥ y ∧ y ≥ z ∧ z ≥ succ(x)) — valid.
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let z = tm.int_var("z");
+        let a = tm.mk_ge(x, y);
+        let b = tm.mk_ge(y, z);
+        let sx = tm.mk_succ(x);
+        let c = tm.mk_ge(z, sx);
+        let conj = tm.mk_and_many(&[a, b, c]);
+        tm.mk_not(conj)
+    }
+
+    fn invalid_uf(tm: &mut TermManager) -> TermId {
+        // f(x) = f(y) ⇒ x = y — invalid (no injectivity).
+        let f = tm.declare_fun("f", 1);
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let fx = tm.mk_app(f, vec![x]);
+        let fy = tm.mk_app(f, vec![y]);
+        let hyp = tm.mk_eq(fx, fy);
+        let conc = tm.mk_eq(x, y);
+        tm.mk_implies(hyp, conc)
+    }
+
+    #[test]
+    fn portfolio_agrees_with_single_lane_on_valid_formula() {
+        let mut tm = TermManager::new();
+        let phi = paper_example(&mut tm);
+        let d = decide_portfolio(&mut tm, phi, &PortfolioOptions::default());
+        assert!(d.outcome.is_valid());
+        let winner = d.winner.expect("someone wins");
+        assert!(d.lanes[winner].won);
+        assert!(d.lanes[winner].outcome.is_valid());
+        assert_eq!(d.lanes.len(), 3);
+        assert_eq!(d.winner_mode(), Some(d.lanes[winner].mode));
+    }
+
+    #[test]
+    fn portfolio_counterexample_resolves_in_callers_manager() {
+        let mut tm = TermManager::new();
+        let phi = invalid_uf(&mut tm);
+        let d = decide_portfolio(&mut tm, phi, &PortfolioOptions::default());
+        let Outcome::Invalid(cex) = d.outcome else {
+            panic!("formula is invalid, got {:?}", d.outcome);
+        };
+        // The adopted manager names the eliminated-application constants,
+        // so the assignment falsifies the eliminated formula.
+        let elim = sufsat_suf::eliminate(&mut tm, phi);
+        assert!(!cex.evaluate(&tm, elim.formula));
+    }
+
+    #[test]
+    fn losing_lanes_are_retired() {
+        // A dense instance whose EIJ translation is far slower than SD:
+        // the SD lane wins and the EIJ lane is cancelled (either in
+        // translation or in the SAT search).
+        let mut tm = TermManager::new();
+        let vars: Vec<_> = (0..9).map(|i| tm.int_var(&format!("v{i}"))).collect();
+        let mut atoms = Vec::new();
+        for i in 0..vars.len() {
+            for j in 0..vars.len() {
+                if i != j {
+                    let off = tm.mk_offset(vars[j], (i as i64 % 3) - 1);
+                    atoms.push(tm.mk_lt(vars[i], off));
+                }
+            }
+        }
+        let phi = tm.mk_or_many(&atoms);
+        let options = PortfolioOptions::with_lanes(vec![EncodingMode::Sd, EncodingMode::Eij]);
+        let d = decide_portfolio(&mut tm, phi, &options);
+        assert!(!matches!(d.outcome, Outcome::Unknown(_)));
+        // The EIJ lane must not have produced a conflicting verdict; it
+        // either got cancelled or finished with the same answer.
+        match &d.lanes[1].outcome {
+            Outcome::Unknown(StopReason::Cancelled) => {}
+            other => assert_eq!(other.is_valid(), d.outcome.is_valid()),
+        }
+    }
+
+    #[test]
+    fn no_winner_reports_first_lane_reason() {
+        let mut tm = TermManager::new();
+        let vars: Vec<_> = (0..8).map(|i| tm.int_var(&format!("v{i}"))).collect();
+        let mut atoms = Vec::new();
+        for i in 0..vars.len() {
+            for j in 0..vars.len() {
+                if i != j {
+                    let off = tm.mk_offset(vars[j], (i as i64 % 3) - 1);
+                    atoms.push(tm.mk_lt(vars[i], off));
+                }
+            }
+        }
+        let phi = tm.mk_or_many(&atoms);
+        let mut options = PortfolioOptions::with_lanes(vec![EncodingMode::Eij]);
+        options.base.trans_budget = 5;
+        let d = decide_portfolio(&mut tm, phi, &options);
+        assert_eq!(d.winner, None);
+        assert_eq!(d.outcome, Outcome::Unknown(StopReason::TranslationBudget));
+    }
+
+    #[test]
+    fn decide_many_preserves_input_order() {
+        let mut tm = TermManager::new();
+        let valid = paper_example(&mut tm);
+        let invalid = invalid_uf(&mut tm);
+        let formulas = [valid, invalid, valid, invalid, valid];
+        let options = PortfolioOptions::default();
+        for jobs in [1, 2, 4] {
+            let results = decide_many(&tm, &formulas, &options, jobs);
+            assert_eq!(results.len(), formulas.len());
+            for (i, d) in results.iter().enumerate() {
+                let expect_valid = i % 2 == 0;
+                assert_eq!(d.outcome.is_valid(), expect_valid, "item {i}, jobs {jobs}");
+                assert!(matches!(
+                    d.outcome,
+                    Outcome::Valid | Outcome::Invalid(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_lane_list_panics() {
+        let mut tm = TermManager::new();
+        let t = tm.mk_true();
+        let _ = decide_portfolio(&mut tm, t, &PortfolioOptions::with_lanes(Vec::new()));
+    }
+}

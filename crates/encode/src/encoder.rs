@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
+use sufsat_sat::CancelToken;
 use sufsat_seplog::{AtomOp, GroundTerm, SepAnalysis};
 use sufsat_suf::{BoolSym, Term, TermId, TermManager, VarSym};
 
@@ -62,6 +63,10 @@ pub struct EncodeOptions {
     pub trans_budget: usize,
     /// Optional wall-clock deadline for transitivity generation.
     pub deadline: Option<Instant>,
+    /// Optional cooperative cancellation token polled during transitivity
+    /// generation, so a cancelled portfolio lane can abandon a blowing-up
+    /// EIJ translation, not just a running SAT search.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EncodeOptions {
@@ -71,6 +76,7 @@ impl Default for EncodeOptions {
             cnf: CnfMode::default(),
             trans_budget: 2_000_000,
             deadline: None,
+            cancel: None,
         }
     }
 }
@@ -281,6 +287,7 @@ pub fn encode(
                     &class.vars,
                     budget,
                     options.deadline,
+                    options.cancel.as_ref(),
                 )?
             } else {
                 generate_transitivity(
@@ -289,6 +296,7 @@ pub fn encode(
                     &class.vars,
                     budget,
                     options.deadline,
+                    options.cancel.as_ref(),
                 )?
             };
             trans_clauses.extend(clauses);

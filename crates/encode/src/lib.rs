@@ -235,8 +235,8 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::HashSet;
+    use sufsat_prng::Prng;
     use sufsat_sat::{SolveResult, Solver};
     use sufsat_seplog::{brute_force_validity, OracleResult, SepAnalysis};
     use sufsat_suf::{TermId, TermManager};
@@ -335,27 +335,29 @@ mod prop_tests {
         }
     }
 
-    fn recipe_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-        prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..18)
+    fn random_recipe(rng: &mut Prng) -> Vec<(u8, u8, u8)> {
+        let len = rng.random_range(2usize..18);
+        (0..len)
+            .map(|_| (rng.random_u8(), rng.random_u8(), rng.random_u8()))
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
-
-        /// SD, EIJ, HYBRID and FixedHybrid agree with the brute-force
-        /// oracle on random separation formulas — the central correctness
-        /// property of the whole encoding stack.
-        #[test]
-        fn all_encodings_agree_with_oracle(recipe in recipe_strategy()) {
+    /// SD, EIJ, HYBRID and FixedHybrid agree with the brute-force
+    /// oracle on random separation formulas — the central correctness
+    /// property of the whole encoding stack.
+    #[test]
+    fn all_encodings_agree_with_oracle() {
+        let mut rng = Prng::seed_from_u64(0xe4c_0001);
+        for _case in 0..40 {
+            let recipe = random_recipe(&mut rng);
             let mut tm = TermManager::new();
             let phi = build_random_sep(&mut tm, &recipe, 3);
             let analysis = SepAnalysis::new(&tm, phi, &HashSet::new());
-            let expected =
-                match brute_force_validity(&tm, phi, &analysis, 1, 500_000) {
-                    OracleResult::Valid => true,
-                    OracleResult::Invalid(_) => false,
-                    OracleResult::TooLarge => return Ok(()),
-                };
+            let expected = match brute_force_validity(&tm, phi, &analysis, 1, 500_000) {
+                OracleResult::Valid => true,
+                OracleResult::Invalid(_) => false,
+                OracleResult::TooLarge => continue,
+            };
             for mode in [
                 EncodingMode::Sd,
                 EncodingMode::Eij,
@@ -363,7 +365,7 @@ mod prop_tests {
                 EncodingMode::FixedHybrid,
             ] {
                 let got = decide(&tm, phi, mode);
-                prop_assert_eq!(got, Some(expected), "mode {:?}", mode);
+                assert_eq!(got, Some(expected), "mode {mode:?}, recipe {recipe:?}");
             }
         }
     }

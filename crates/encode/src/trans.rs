@@ -25,6 +25,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+use sufsat_sat::CancelToken;
 use sufsat_suf::VarSym;
 
 use crate::circuit::{Circuit, Signal};
@@ -139,6 +140,8 @@ pub struct TransBudgetExceeded {
     /// Whether the wall-clock deadline (rather than the clause budget)
     /// stopped generation.
     pub timed_out: bool,
+    /// Whether a raised [`CancelToken`] stopped generation.
+    pub cancelled: bool,
 }
 
 impl fmt::Display for TransBudgetExceeded {
@@ -262,6 +265,7 @@ pub fn generate_equality_transitivity(
     class_vars: &[VarSym],
     budget: usize,
     deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<Vec<Signal>>, TransBudgetExceeded> {
     generate_equality_transitivity_ordered(
         circuit,
@@ -269,6 +273,7 @@ pub fn generate_equality_transitivity(
         class_vars,
         budget,
         deadline,
+        cancel,
         ElimOrder::MinDegree,
     )
 }
@@ -284,6 +289,7 @@ pub fn generate_equality_transitivity_ordered(
     class_vars: &[VarSym],
     budget: usize,
     deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
     order: ElimOrder,
 ) -> Result<Vec<Vec<Signal>>, TransBudgetExceeded> {
     let members: HashSet<VarSym> = class_vars.iter().copied().collect();
@@ -403,18 +409,20 @@ pub fn generate_equality_transitivity_ordered(
                         generated: clauses.len(),
                         budget,
                         timed_out: false,
+                        cancelled: false,
                     });
                 }
                 steps += 1;
                 if steps.is_multiple_of(4096) {
-                    if let Some(d) = deadline {
-                        if Instant::now() >= d {
-                            return Err(TransBudgetExceeded {
-                                generated: clauses.len(),
-                                budget,
-                                timed_out: true,
-                            });
-                        }
+                    let timed_out = deadline.is_some_and(|d| Instant::now() >= d);
+                    let cancelled = cancel.is_some_and(CancelToken::is_cancelled);
+                    if timed_out || cancelled {
+                        return Err(TransBudgetExceeded {
+                            generated: clauses.len(),
+                            budget,
+                            timed_out,
+                            cancelled,
+                        });
                     }
                 }
             }
@@ -459,6 +467,7 @@ pub fn generate_transitivity(
     class_vars: &[VarSym],
     budget: usize,
     deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<Vec<Signal>>, TransBudgetExceeded> {
     generate_transitivity_ordered(
         circuit,
@@ -466,6 +475,7 @@ pub fn generate_transitivity(
         class_vars,
         budget,
         deadline,
+        cancel,
         ElimOrder::MinDegree,
     )
 }
@@ -481,6 +491,7 @@ pub fn generate_transitivity_ordered(
     class_vars: &[VarSym],
     budget: usize,
     deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
     order: ElimOrder,
 ) -> Result<Vec<Vec<Signal>>, TransBudgetExceeded> {
     let members: HashSet<VarSym> = class_vars.iter().copied().collect();
@@ -589,18 +600,20 @@ pub fn generate_transitivity_ordered(
                         generated: clauses.len(),
                         budget,
                         timed_out: false,
+                        cancelled: false,
                     });
                 }
                 steps += 1;
                 if steps.is_multiple_of(4096) {
-                    if let Some(d) = deadline {
-                        if Instant::now() >= d {
-                            return Err(TransBudgetExceeded {
-                                generated: clauses.len(),
-                                budget,
-                                timed_out: true,
-                            });
-                        }
+                    let timed_out = deadline.is_some_and(|d| Instant::now() >= d);
+                    let cancelled = cancel.is_some_and(CancelToken::is_cancelled);
+                    if timed_out || cancelled {
+                        return Err(TransBudgetExceeded {
+                            generated: clauses.len(),
+                            budget,
+                            timed_out,
+                            cancelled,
+                        });
                     }
                 }
             }
@@ -648,7 +661,7 @@ mod tests {
             .map(|&(x, y, c)| table.bound(&mut circuit, vs[x], vs[y], c))
             .collect();
         let clauses =
-            generate_transitivity(&mut circuit, &mut table, &vs, 1_000_000, None).unwrap();
+            generate_transitivity(&mut circuit, &mut table, &vs, 1_000_000, None, None).unwrap();
         let original: Vec<(VarSym, VarSym, i64, Signal)> = table.iter_original().collect();
         let all_bounds: Vec<(VarSym, VarSym, i64, Signal)> = table.iter().collect();
         let n_inputs = circuit.num_inputs();
@@ -769,7 +782,7 @@ mod tests {
             table.equality(&mut circuit, vs[x], vs[y], c);
         }
         let clauses =
-            generate_equality_transitivity(&mut circuit, &mut table, &vs, 1_000_000, None).unwrap();
+            generate_equality_transitivity(&mut circuit, &mut table, &vs, 1_000_000, None, None).unwrap();
         let original: Vec<(VarSym, VarSym, i64, Signal)> = table.iter_original().collect();
         let all: Vec<(VarSym, VarSym, i64, Signal)> = table.iter().collect();
         let n_inputs = circuit.num_inputs();
@@ -883,7 +896,7 @@ mod tests {
             }
         }
         let clauses =
-            generate_equality_transitivity(&mut circuit, &mut table, &vs, 1_000_000, None).unwrap();
+            generate_equality_transitivity(&mut circuit, &mut table, &vs, 1_000_000, None, None).unwrap();
         assert!(
             clauses.len() < 2000,
             "equality transitivity should be cubic-ish, got {}",
@@ -913,6 +926,7 @@ mod tests {
                 &mut table,
                 &vs,
                 1_000_000,
+                None,
                 None,
                 order,
             )
@@ -969,7 +983,7 @@ mod tests {
                 }
             }
         }
-        let r = generate_transitivity(&mut circuit, &mut table, &vs, 10, None);
+        let r = generate_transitivity(&mut circuit, &mut table, &vs, 10, None, None);
         assert!(matches!(r, Err(TransBudgetExceeded { .. })));
     }
 
@@ -979,7 +993,7 @@ mod tests {
         let vs = vars(&mut tm, 3);
         let mut circuit = Circuit::new();
         let mut table = BoundTable::new();
-        let clauses = generate_transitivity(&mut circuit, &mut table, &vs, 100, None).unwrap();
+        let clauses = generate_transitivity(&mut circuit, &mut table, &vs, 100, None, None).unwrap();
         assert!(clauses.is_empty());
     }
 }

@@ -1,0 +1,182 @@
+//! Dependency-free deterministic pseudo-random number generation.
+//!
+//! The workspace runs in fully offline environments, so the benchmark
+//! generators and the randomized tests cannot pull in external RNG crates.
+//! This crate provides a single splitmix64-based generator with the small
+//! API surface those uses need: seeding from a `u64`, uniform ranges over
+//! the integer types, and Bernoulli draws.
+//!
+//! Determinism is part of the contract: a given seed must produce the same
+//! stream on every platform and in every future version, because benchmark
+//! identity (`sufsat-workloads`) depends on it. Do not change the stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use sufsat_prng::Prng;
+//!
+//! let mut rng = Prng::seed_from_u64(42);
+//! let die = rng.random_range(1usize..7);
+//! assert!((1..7).contains(&die));
+//! let coin = rng.random_bool(0.5);
+//! let _ = coin;
+//! // Same seed, same stream.
+//! let mut again = Prng::seed_from_u64(42);
+//! assert_eq!(again.random_range(1usize..7), die);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A deterministic splitmix64 pseudo-random number generator.
+///
+/// Not cryptographically secure; statistical quality is ample for test-case
+/// and benchmark generation (splitmix64 passes BigCrush).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed. Every seed, including 0,
+    /// yields a full-quality stream.
+    pub fn seed_from_u64(seed: u64) -> Prng {
+        Prng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea, Flood 2014): a Weyl sequence scrambled
+        // by two xor-shift-multiply rounds.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 8 raw bits.
+    pub fn random_u8(&mut self) -> u8 {
+        self.next_u64() as u8
+    }
+
+    /// A uniform draw from `range` (half-open, like `rand`'s
+    /// `random_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_i128();
+        let hi = range.end.to_i128();
+        assert!(lo < hi, "random_range called with empty range");
+        let span = (hi - lo) as u128;
+        // Modulo bias is negligible for the small spans used here (and
+        // irrelevant for test-case generation).
+        let draw = (self.next_u64() as u128) % span;
+        T::from_i128(lo + draw as i128)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // Compare against a 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// A vector of `len` raw bytes (recipe fuel for randomized tests).
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.random_u8()).collect()
+    }
+}
+
+/// Integer types [`Prng::random_range`] can draw uniformly.
+pub trait UniformInt: Copy {
+    /// Widens to `i128` (lossless for all implementors).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; callers guarantee the value fits.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Prng::seed_from_u64(7);
+        let mut b = Prng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(5usize..12);
+            assert!((5..12).contains(&v));
+            let w = rng.random_range(-3i64..4);
+            assert!((-3..4).contains(&w));
+            let b = rng.random_range(0u8..8);
+            assert!(b < 8);
+        }
+    }
+
+    #[test]
+    fn all_range_values_are_reachable() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Prng::seed_from_u64(5);
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+    }
+
+    #[test]
+    fn bernoulli_half_is_balanced() {
+        let mut rng = Prng::seed_from_u64(6);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Prng::seed_from_u64(0);
+        let _ = rng.random_range(3usize..3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Cooperative cross-thread cancellation for in-flight `solve` calls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable flag that asks a running [`Solver::solve`] call to stop.
+///
+/// Clone the token, hand one copy to [`Solver::set_cancel_token`], keep the
+/// other, and call [`CancelToken::cancel`] from any thread. The solver polls
+/// the flag with a relaxed atomic load inside its search loop — cheap enough
+/// to sit alongside the conflict and timeout budget checks — and returns
+/// [`SolveResult::Unknown`]`(`[`Interrupt::Cancelled`]`)` promptly. The
+/// solver stays fully usable afterwards: call [`CancelToken::reset`] (or
+/// install a fresh token) and solve again.
+///
+/// [`Solver::solve`]: crate::Solver::solve
+/// [`Solver::set_cancel_token`]: crate::Solver::set_cancel_token
+/// [`SolveResult::Unknown`]: crate::SolveResult::Unknown
+/// [`Interrupt::Cancelled`]: crate::Interrupt::Cancelled
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Every clone of this token observes the request.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Lowers the flag so the token (and any solver holding a clone) can be
+    /// reused for another run.
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether `self` and `other` share the same underlying flag.
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+/// Tokens compare by identity of the shared flag, not by its state, so
+/// options structs holding a token can still derive `PartialEq`.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        self.same_token(other)
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(a.same_token(&b));
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        a.reset();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        assert!(!a.same_token(&b));
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod clause;
 mod heap;
 mod lit;
@@ -40,6 +41,7 @@ pub mod proof;
 
 pub mod dimacs;
 
+pub use cancel::CancelToken;
 pub use lit::{LBool, Lit, Var};
 pub use proof::{check_refutation, Proof, ProofStep};
 pub use solver::{Config, Interrupt, SolveResult, Solver};
@@ -48,7 +50,7 @@ pub use stats::Stats;
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sufsat_prng::Prng;
 
     /// Brute-force satisfiability over up to 16 variables.
     fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
@@ -64,22 +66,28 @@ mod prop_tests {
         false
     }
 
-    fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
-        prop::collection::vec((0..num_vars, any::<bool>()), 1..=4)
+    fn random_clause(rng: &mut Prng, num_vars: usize) -> Vec<(usize, bool)> {
+        let len = rng.random_range(1usize..5);
+        (0..len)
+            .map(|_| (rng.random_range(0..num_vars), rng.random_bool(0.5)))
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
+    fn random_clauses(
+        rng: &mut Prng,
+        num_vars: usize,
+        max_clauses: usize,
+    ) -> Vec<Vec<(usize, bool)>> {
+        let n = rng.random_range(0..max_clauses);
+        (0..n).map(|_| random_clause(rng, num_vars)).collect()
+    }
 
-        #[test]
-        fn solver_agrees_with_brute_force(
-            num_vars in 1usize..=8,
-            seed_clauses in prop::collection::vec(clause_strategy(8), 0..24),
-        ) {
-            let clauses: Vec<Vec<(usize, bool)>> = seed_clauses
-                .into_iter()
-                .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
-                .collect();
+    #[test]
+    fn solver_agrees_with_brute_force() {
+        let mut rng = Prng::seed_from_u64(0x5a7_0001);
+        for _case in 0..128 {
+            let num_vars = rng.random_range(1usize..9);
+            let clauses = random_clauses(&mut rng, num_vars, 24);
             let expected = brute_force_sat(num_vars, &clauses);
             let mut solver = Solver::new();
             solver.reserve_vars(num_vars);
@@ -89,33 +97,30 @@ mod prop_tests {
                 );
             }
             let result = solver.solve();
-            prop_assert_eq!(result == SolveResult::Sat, expected);
+            assert_eq!(result == SolveResult::Sat, expected, "clauses: {clauses:?}");
             if result == SolveResult::Sat {
                 // The model must satisfy every clause.
                 for c in &clauses {
                     let satisfied = c
                         .iter()
                         .any(|&(v, p)| solver.model_value(Var::from_index(v)) == Some(p));
-                    prop_assert!(satisfied);
+                    assert!(satisfied, "model violates clause {c:?}");
                 }
             }
         }
+    }
 
-        /// Solving under assumptions matches solving with the assumptions
-        /// added as unit clauses.
-        #[test]
-        fn assumptions_match_unit_clauses(
-            num_vars in 1usize..=6,
-            seed_clauses in prop::collection::vec(clause_strategy(6), 0..16),
-            raw_assumptions in prop::collection::vec((0usize..6, any::<bool>()), 0..4),
-        ) {
-            let clauses: Vec<Vec<(usize, bool)>> = seed_clauses
-                .into_iter()
-                .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
-                .collect();
-            let mut assumptions: Vec<(usize, bool)> = raw_assumptions
-                .into_iter()
-                .map(|(v, p)| (v % num_vars, p))
+    /// Solving under assumptions matches solving with the assumptions
+    /// added as unit clauses.
+    #[test]
+    fn assumptions_match_unit_clauses() {
+        let mut rng = Prng::seed_from_u64(0x5a7_0002);
+        for _case in 0..128 {
+            let num_vars = rng.random_range(1usize..7);
+            let clauses = random_clauses(&mut rng, num_vars, 16);
+            let n_assumptions = rng.random_range(0usize..4);
+            let mut assumptions: Vec<(usize, bool)> = (0..n_assumptions)
+                .map(|_| (rng.random_range(0..num_vars), rng.random_bool(0.5)))
                 .collect();
             // Contradictory assumption pairs are legal; keep them.
             assumptions.dedup();
@@ -139,23 +144,24 @@ mod prop_tests {
                 consistent &= s2.add_clause([*l]);
             }
             let with_units = if consistent { s2.solve() } else { SolveResult::Unsat };
-            prop_assert_eq!(
+            assert_eq!(
                 under_assumptions == SolveResult::Sat,
-                with_units == SolveResult::Sat
+                with_units == SolveResult::Sat,
+                "clauses: {clauses:?}, assumptions: {assumptions:?}"
             );
         }
+    }
 
-        /// Every UNSAT answer carries a DRAT proof that the built-in
-        /// forward RUP checker accepts.
-        #[test]
-        fn unsat_proofs_check(
-            num_vars in 1usize..=6,
-            seed_clauses in prop::collection::vec(clause_strategy(6), 1..22),
-        ) {
-            let clauses: Vec<Vec<(usize, bool)>> = seed_clauses
-                .into_iter()
-                .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
-                .collect();
+    /// Every UNSAT answer carries a DRAT proof that the built-in
+    /// forward RUP checker accepts.
+    #[test]
+    fn unsat_proofs_check() {
+        let mut rng = Prng::seed_from_u64(0x5a7_0003);
+        for _case in 0..128 {
+            let num_vars = rng.random_range(1usize..7);
+            let n = rng.random_range(1usize..22);
+            let clauses: Vec<Vec<(usize, bool)>> =
+                (0..n).map(|_| random_clause(&mut rng, num_vars)).collect();
             let mut solver = Solver::new();
             solver.enable_proof();
             solver.reserve_vars(num_vars);
@@ -167,28 +173,23 @@ mod prop_tests {
             }
             if solver.solve() == SolveResult::Unsat {
                 let proof = solver.proof().expect("logging enabled");
-                prop_assert!(proof.is_refutation());
+                assert!(proof.is_refutation());
                 let original: Vec<Vec<Lit>> = clauses.iter().map(as_lits).collect();
-                prop_assert!(
+                assert!(
                     check_refutation(&original, proof),
-                    "DRAT proof failed forward checking"
+                    "DRAT proof failed forward checking on {clauses:?}"
                 );
             }
         }
+    }
 
-        #[test]
-        fn incremental_matches_monolithic(
-            num_vars in 1usize..=6,
-            batch1 in prop::collection::vec(clause_strategy(6), 0..10),
-            batch2 in prop::collection::vec(clause_strategy(6), 0..10),
-        ) {
-            let norm = |cs: Vec<Vec<(usize, bool)>>| -> Vec<Vec<(usize, bool)>> {
-                cs.into_iter()
-                    .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
-                    .collect()
-            };
-            let batch1 = norm(batch1);
-            let batch2 = norm(batch2);
+    #[test]
+    fn incremental_matches_monolithic() {
+        let mut rng = Prng::seed_from_u64(0x5a7_0004);
+        for _case in 0..128 {
+            let num_vars = rng.random_range(1usize..7);
+            let batch1 = random_clauses(&mut rng, num_vars, 10);
+            let batch2 = random_clauses(&mut rng, num_vars, 10);
             let all: Vec<_> = batch1.iter().chain(batch2.iter()).cloned().collect();
             let expected = brute_force_sat(num_vars, &all);
 
@@ -201,7 +202,11 @@ mod prop_tests {
             for c in &batch2 {
                 solver.add_clause(c.iter().map(|&(v, p)| Lit::new(Var::from_index(v), p)));
             }
-            prop_assert_eq!(solver.solve() == SolveResult::Sat, expected);
+            assert_eq!(
+                solver.solve() == SolveResult::Sat,
+                expected,
+                "batches: {batch1:?} + {batch2:?}"
+            );
         }
     }
 }

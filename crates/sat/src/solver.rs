@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::clause::{ClauseDb, ClauseRef, Watcher, NO_REASON};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
@@ -27,6 +28,9 @@ pub enum Interrupt {
     ConflictBudget,
     /// The wall-clock timeout set by [`Solver::set_timeout`] elapsed.
     Timeout,
+    /// Another thread raised the [`CancelToken`] installed with
+    /// [`Solver::set_cancel_token`].
+    Cancelled,
 }
 
 /// Tunable solver parameters. The defaults follow MiniSat/zChaff practice.
@@ -117,6 +121,7 @@ pub struct Solver {
     stats: Stats,
     conflict_budget: Option<u64>,
     timeout: Option<Duration>,
+    cancel: Option<CancelToken>,
     max_learnts: usize,
     restarts_done: u64,
 }
@@ -162,6 +167,7 @@ impl Solver {
             stats: Stats::default(),
             conflict_budget: None,
             timeout: None,
+            cancel: None,
             max_learnts,
             restarts_done: 0,
         }
@@ -235,6 +241,27 @@ impl Solver {
     /// (`None` removes the limit).
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs (or removes) a cooperative cancellation token.
+    ///
+    /// While `solve` runs, any thread holding a clone of the token can call
+    /// [`CancelToken::cancel`] to make the search return
+    /// [`SolveResult::Unknown`]`(`[`Interrupt::Cancelled`]`)` promptly. The
+    /// solver remains valid after an interrupted call: reset the token (or
+    /// install a fresh one) and solve again.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The currently installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    #[inline]
+    fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Limits the next `solve` call to roughly `timeout` wall-clock time
@@ -422,6 +449,13 @@ impl Solver {
         let mut conflicts_this_restart = 0u64;
         let mut restart_limit = self.restart_limit();
         loop {
+            // One relaxed atomic load per propagate/decide cycle — cheap
+            // next to propagation, and prompt enough that cancellation
+            // lands within milliseconds even on hard instances.
+            if self.cancel_requested() {
+                self.backtrack_to(0);
+                return SolveResult::Unknown(Interrupt::Cancelled);
+            }
             if let Some(confl) = self.propagate() {
                 // Conflict.
                 self.stats.conflicts += 1;
@@ -1093,6 +1127,75 @@ mod tests {
         // Removing the budget finds the answer.
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Pigeonhole clauses guarded by a fresh literal `g`: assuming `g`
+    /// makes the instance hard-UNSAT, assuming `!g` makes it trivial.
+    fn guarded_pigeonhole(holes: usize) -> (Solver, Var) {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let g = s.new_var();
+        let grid: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in 0..pigeons {
+            let mut clause = vec![g.negative()];
+            clause.extend((0..holes).map(|h| grid[p][h].positive()));
+            s.add_clause(clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause([
+                        g.negative(),
+                        grid[p1][h].negative(),
+                        grid[p2][h].negative(),
+                    ]);
+                }
+            }
+        }
+        (s, g)
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_immediately() {
+        let mut s = pigeonhole(8);
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(Some(token.clone()));
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::Cancelled));
+        // Resetting the token restores the solver's full behaviour.
+        token.reset();
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::ConflictBudget));
+    }
+
+    #[test]
+    fn cancellation_mid_search_is_prompt_and_solver_stays_usable() {
+        let (mut s, g) = guarded_pigeonhole(9);
+        let token = CancelToken::new();
+        s.set_cancel_token(Some(token.clone()));
+        // Backstop so a broken cancellation path cannot hang the suite.
+        s.set_timeout(Some(Duration::from_secs(60)));
+        let handle = std::thread::spawn(move || {
+            let result = s.solve_with_assumptions(&[g.positive()]);
+            (result, s)
+        });
+        // Let the search sink into the hard instance, then pull the plug.
+        std::thread::sleep(Duration::from_millis(100));
+        let cancelled_at = Instant::now();
+        token.cancel();
+        let (result, mut s) = handle.join().expect("solver thread");
+        let reaction = cancelled_at.elapsed();
+        assert_eq!(result, SolveResult::Unknown(Interrupt::Cancelled));
+        assert!(
+            reaction < Duration::from_millis(50),
+            "cancellation took {reaction:?}"
+        );
+        // The same solver answers a fresh query correctly afterwards.
+        token.reset();
+        assert_eq!(s.solve_with_assumptions(&[g.negative()]), SolveResult::Sat);
+        assert_eq!(s.model_value(g), Some(false));
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub use oracle::{brute_force_validity, OracleResult, SepAssignment};
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::HashSet;
+    use sufsat_prng::Prng;
     use sufsat_suf::{TermId, TermManager};
 
     /// Random application-free separation formulas from opcode recipes.
@@ -114,47 +114,58 @@ mod prop_tests {
         }
     }
 
-    fn recipe_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-        prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..20)
+    pub(crate) fn random_recipe(rng: &mut Prng) -> Vec<(u8, u8, u8)> {
+        let len = rng.random_range(2usize..20);
+        (0..len)
+            .map(|_| (rng.random_u8(), rng.random_u8(), rng.random_u8()))
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// The paper's small-model bound: enumerating within `range(Vᵢ)` is
-        /// as complete as enumerating a strictly larger box.
-        #[test]
-        fn small_model_bound_is_empirically_tight(recipe in recipe_strategy()) {
+    /// The paper's small-model bound: enumerating within `range(Vᵢ)` is
+    /// as complete as enumerating a strictly larger box.
+    #[test]
+    fn small_model_bound_is_empirically_tight() {
+        let mut rng = Prng::seed_from_u64(0x5e9_0001);
+        for _case in 0..48 {
+            let recipe = random_recipe(&mut rng);
             let mut tm = TermManager::new();
             let phi = build_random_sep(&mut tm, &recipe, 3);
             let an = SepAnalysis::new(&tm, phi, &HashSet::new());
             let tight = brute_force_validity(&tm, phi, &an, 0, 400_000);
             let wide = brute_force_validity(&tm, phi, &an, 3, 4_000_000);
             if let (OracleResult::TooLarge, _) | (_, OracleResult::TooLarge) = (&tight, &wide) {
-                return Ok(());
+                continue;
             }
-            prop_assert_eq!(
+            assert_eq!(
                 matches!(tight, OracleResult::Valid),
-                matches!(wide, OracleResult::Valid)
+                matches!(wide, OracleResult::Valid),
+                "recipe: {recipe:?}"
             );
         }
+    }
 
-        /// Counterexamples returned by the oracle really falsify the formula.
-        #[test]
-        fn oracle_counterexamples_check_out(recipe in recipe_strategy()) {
+    /// Counterexamples returned by the oracle really falsify the formula.
+    #[test]
+    fn oracle_counterexamples_check_out() {
+        let mut rng = Prng::seed_from_u64(0x5e9_0002);
+        for _case in 0..48 {
+            let recipe = random_recipe(&mut rng);
             let mut tm = TermManager::new();
             let phi = build_random_sep(&mut tm, &recipe, 3);
             let an = SepAnalysis::new(&tm, phi, &HashSet::new());
-            if let OracleResult::Invalid(cex) =
-                brute_force_validity(&tm, phi, &an, 1, 400_000)
+            if let OracleResult::Invalid(cex) = brute_force_validity(&tm, phi, &an, 1, 400_000)
             {
-                prop_assert!(!cex.evaluate(&tm, phi));
+                assert!(!cex.evaluate(&tm, phi), "recipe: {recipe:?}");
             }
         }
+    }
 
-        /// `push_offsets` rewriting preserves validity.
-        #[test]
-        fn rewriting_preserves_validity(recipe in recipe_strategy()) {
+    /// `push_offsets` rewriting preserves validity.
+    #[test]
+    fn rewriting_preserves_validity() {
+        let mut rng = Prng::seed_from_u64(0x5e9_0003);
+        for _case in 0..48 {
+            let recipe = random_recipe(&mut rng);
             let mut tm = TermManager::new();
             let phi = build_random_sep(&mut tm, &recipe, 3);
             let rewritten = push_offsets(&mut tm, phi);
@@ -164,39 +175,56 @@ mod prop_tests {
             let r2 = brute_force_validity(&tm, rewritten, &an2, 1, 400_000);
             match (r1, r2) {
                 (OracleResult::TooLarge, _) | (_, OracleResult::TooLarge) => {}
-                (a, b) => prop_assert_eq!(
+                (a, b) => assert_eq!(
                     matches!(a, OracleResult::Valid),
-                    matches!(b, OracleResult::Valid)
+                    matches!(b, OracleResult::Valid),
+                    "recipe: {recipe:?}"
                 ),
             }
         }
+    }
 
-        /// Atom-level ITE expansion preserves validity and really grounds
-        /// every atom.
-        #[test]
-        fn ite_expansion_preserves_validity(recipe in recipe_strategy()) {
+    /// Atom-level ITE expansion preserves validity and really grounds
+    /// every atom.
+    #[test]
+    fn ite_expansion_preserves_validity() {
+        let mut rng = Prng::seed_from_u64(0x5e9_0004);
+        for _case in 0..48 {
+            let recipe = random_recipe(&mut rng);
             let mut tm = TermManager::new();
             let phi = build_random_sep(&mut tm, &recipe, 3);
             let expanded = expand_ites(&mut tm, phi);
-            prop_assert!(atoms_are_ground(&tm, expanded));
+            assert!(atoms_are_ground(&tm, expanded), "recipe: {recipe:?}");
             let an1 = SepAnalysis::new(&tm, phi, &HashSet::new());
             let an2 = SepAnalysis::new(&tm, expanded, &HashSet::new());
             let r1 = brute_force_validity(&tm, phi, &an1, 1, 300_000);
             let r2 = brute_force_validity(&tm, expanded, &an2, 1, 300_000);
             match (r1, r2) {
                 (OracleResult::TooLarge, _) | (_, OracleResult::TooLarge) => {}
-                (a, b) => prop_assert_eq!(
+                (a, b) => assert_eq!(
                     matches!(a, OracleResult::Valid),
-                    matches!(b, OracleResult::Valid)
+                    matches!(b, OracleResult::Valid),
+                    "recipe: {recipe:?}"
                 ),
             }
         }
+    }
 
-        /// Difference-logic models satisfy all their bounds.
-        #[test]
-        fn diff_models_satisfy_bounds(
-            raw in prop::collection::vec((0u8..4, 0u8..4, -3i64..4), 1..12),
-        ) {
+    /// Difference-logic models satisfy all their bounds.
+    #[test]
+    fn diff_models_satisfy_bounds() {
+        let mut rng = Prng::seed_from_u64(0x5e9_0005);
+        for _case in 0..48 {
+            let n = rng.random_range(1usize..12);
+            let raw: Vec<(u8, u8, i64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.random_range(0u8..4),
+                        rng.random_range(0u8..4),
+                        rng.random_range(-3i64..4),
+                    )
+                })
+                .collect();
             let mut tm = TermManager::new();
             let vars: Vec<_> = (0..4).map(|i| tm.int_var_sym(&format!("v{i}"))).collect();
             let bounds: Vec<Bound> = raw
@@ -212,7 +240,7 @@ mod prop_tests {
             match solve_bounds(&bounds, &[]) {
                 DiffResult::Sat(m) => {
                     for b in &bounds {
-                        prop_assert!(m[&b.x] - m[&b.y] <= b.c);
+                        assert!(m[&b.x] - m[&b.y] <= b.c, "raw: {raw:?}");
                     }
                 }
                 DiffResult::Unsat(core) => {
@@ -223,10 +251,10 @@ mod prop_tests {
                         .copied()
                         .filter(|b| core.contains(&b.tag))
                         .collect();
-                    prop_assert!(matches!(
-                        solve_bounds(&sub, &[]),
-                        DiffResult::Unsat(_)
-                    ));
+                    assert!(
+                        matches!(solve_bounds(&sub, &[]), DiffResult::Unsat(_)),
+                        "raw: {raw:?}"
+                    );
                 }
             }
         }

@@ -57,7 +57,7 @@ pub use term::{BoolSym, FunSym, PredSym, Sort, Term, TermId, TermManager, VarSym
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sufsat_prng::Prng;
 
     /// A small random SUF formula builder driven by a recipe of opcodes.
     fn build_random(tm: &mut TermManager, recipe: &[u8], n_vars: usize, with_funs: bool) -> TermId {
@@ -126,55 +126,71 @@ mod prop_tests {
         *bools.last().expect("at least true")
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    fn random_recipe(rng: &mut Prng, max_len: usize) -> Vec<u8> {
+        let len = rng.random_range(1..max_len);
+        rng.bytes(len)
+    }
 
-        #[test]
-        fn print_parse_round_trip(recipe in prop::collection::vec(any::<u8>(), 1..40)) {
+    #[test]
+    fn print_parse_round_trip() {
+        let mut rng = Prng::seed_from_u64(0x5_0f_0001);
+        for _case in 0..64 {
+            let recipe = random_recipe(&mut rng, 40);
             let mut tm = TermManager::new();
             let phi = build_random(&mut tm, &recipe, 4, true);
             let text = print_term(&tm, phi);
             let reparsed = parse_formula(&mut tm, &text).expect("printer output parses");
-            prop_assert_eq!(phi, reparsed);
+            assert_eq!(phi, reparsed, "recipe: {recipe:?}");
         }
+    }
 
-        #[test]
-        fn elimination_removes_all_applications(
-            recipe in prop::collection::vec(any::<u8>(), 1..60),
-        ) {
+    #[test]
+    fn elimination_removes_all_applications() {
+        let mut rng = Prng::seed_from_u64(0x5_0f_0002);
+        for _case in 0..64 {
+            let recipe = random_recipe(&mut rng, 60);
             let mut tm = TermManager::new();
             let phi = build_random(&mut tm, &recipe, 3, true);
             let elim = eliminate(&mut tm, phi);
-            prop_assert!(!contains_applications(&tm, elim.formula));
+            assert!(
+                !contains_applications(&tm, elim.formula),
+                "recipe: {recipe:?}"
+            );
         }
+    }
 
-        #[test]
-        fn elimination_is_identity_without_applications(
-            recipe in prop::collection::vec(any::<u8>(), 1..60),
-        ) {
+    #[test]
+    fn elimination_is_identity_without_applications() {
+        let mut rng = Prng::seed_from_u64(0x5_0f_0003);
+        for _case in 0..64 {
+            let recipe = random_recipe(&mut rng, 60);
             let mut tm = TermManager::new();
             let phi = build_random(&mut tm, &recipe, 3, false);
             let elim = eliminate(&mut tm, phi);
-            prop_assert_eq!(elim.formula, phi);
+            assert_eq!(elim.formula, phi, "recipe: {recipe:?}");
         }
+    }
 
-        #[test]
-        fn eval_is_deterministic(
-            recipe in prop::collection::vec(any::<u8>(), 1..40),
-            seed in any::<u64>(),
-        ) {
+    #[test]
+    fn eval_is_deterministic() {
+        let mut rng = Prng::seed_from_u64(0x5_0f_0004);
+        for _case in 0..64 {
+            let recipe = random_recipe(&mut rng, 40);
+            let seed = rng.next_u64();
             let mut tm = TermManager::new();
             let phi = build_random(&mut tm, &recipe, 3, true);
             let interp = MapInterpretation::with_seed(seed);
             let v1 = eval(&tm, phi, &interp);
             let v2 = eval(&tm, phi, &interp);
-            prop_assert_eq!(v1, v2);
+            assert_eq!(v1, v2, "recipe: {recipe:?}, seed: {seed}");
         }
+    }
 
-        #[test]
-        fn soundness_spot_check_on_functional_consistency(
-            seed in any::<u64>(),
-        ) {
+    #[test]
+    fn soundness_spot_check_on_functional_consistency() {
+        let mut rng = Prng::seed_from_u64(0x5_0f_0005);
+        for _case in 0..64 {
+            let seed = rng.next_u64();
             // ITE-chain elimination of a valid formula stays valid under
             // every interpretation of the remaining symbols.
             let mut tm = TermManager::new();
@@ -191,7 +207,11 @@ mod prop_tests {
             // After elimination the formula contains only the ITE chain; it
             // must evaluate true under all interpretations (it is valid).
             let interp = MapInterpretation::with_seed(seed);
-            prop_assert_eq!(eval(&tm, elim.formula, &interp), Value::Bool(true));
+            assert_eq!(
+                eval(&tm, elim.formula, &interp),
+                Value::Bool(true),
+                "seed: {seed}"
+            );
         }
     }
 }

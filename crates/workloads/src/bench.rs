@@ -39,7 +39,10 @@ impl Domain {
 
 /// One synthetic benchmark: a formula in its own term manager plus
 /// metadata mirroring the paper's categorization.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the term manager, so a clone can be decided on
+/// another thread without touching the original.
+#[derive(Debug, Clone)]
 pub struct Benchmark {
     /// Name, e.g. `dlx-04`.
     pub name: String,

@@ -6,8 +6,7 @@
 //! formulas themselves are valid by construction (except the random
 //! family) so that results can be checked.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sufsat_prng::Prng;
 use sufsat_suf::{TermId, TermManager};
 
 use crate::bench::{mem_read, Benchmark, Domain};
@@ -21,7 +20,7 @@ use crate::bench::{mem_read, Benchmark, Domain};
 /// order or reversed. Uninterpreted `alu`/`mem` model the datapath; the
 /// single positive equality per block keeps most functions p-functions.
 pub fn pipeline(blocks: usize, depth: usize, seed: u64) -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut tm = TermManager::new();
     let mem = tm.declare_fun("mem", 1);
     // A pool of ALU opcodes: realistic designs spread applications over
@@ -206,7 +205,7 @@ pub fn cache_coherence(clients: usize, steps: usize) -> Benchmark {
 /// plus queue-position ordering, mixing a p-heavy memory class with a
 /// g-class of positions.
 pub fn load_store_unit(ops: usize, seed: u64) -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut tm = TermManager::new();
     let mem = tm.declare_fun("mem", 1);
     // Queue positions are strictly increasing.
@@ -266,7 +265,7 @@ pub fn load_store_unit(ops: usize, seed: u64) -> Benchmark {
 /// unrolled control-flow path with equality branch conditions must stay
 /// within its path bounds.
 pub fn device_driver(branches: usize, seed: u64) -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut tm = TermManager::new();
     // Lock state modeled as an integer confined to {unlocked, locked}.
     let unlocked = tm.int_var("unlocked");
@@ -312,7 +311,7 @@ pub fn device_driver(branches: usize, seed: u64) -> Benchmark {
 /// equalities over uninterpreted operations — the domain where
 /// per-constraint encoding shines.
 pub fn translation_validation(insns: usize, inputs: usize, seed: u64) -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut tm = TermManager::new();
     // Spread the instructions over a realistic instruction-set-sized pool
     // of uninterpreted operations so same-symbol instance counts stay
@@ -379,7 +378,7 @@ pub fn translation_validation(insns: usize, inputs: usize, seed: u64) -> Benchma
 
 /// Random SUF formulas for fuzzing; validity is not fixed by construction.
 pub fn random_suf(size: usize, vars: usize, seed: u64) -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut tm = TermManager::new();
     let f = tm.declare_fun("f", 1);
     let var_terms: Vec<TermId> = (0..vars.max(1))

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify plus smoke runs of the evaluation harness
+# and the parallel portfolio path. Fully offline; no network, no extra
+# tools beyond cargo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: build (release)"
+cargo build --release --workspace
+
+echo "==> tier-1: tests"
+cargo test -q --workspace
+
+echo "==> smoke: threshold selection (sequential)"
+./target/release/paper-eval --timeout 2 threshold
+
+echo "==> smoke: portfolio + parallel harness (2 worker threads)"
+./target/release/paper-eval --timeout 2 --jobs 2 fig-portfolio
+
+echo "==> ci.sh: all checks passed"

@@ -3,8 +3,8 @@
 //! case splitter — must agree on validity, and all counterexamples must
 //! actually falsify the formula.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
+use sufsat_prng::Prng;
 use sufsat::baselines::{decide_lazy, decide_svc, LazyOptions, SvcOptions};
 use sufsat::seplog::{brute_force_validity, OracleResult, SepAnalysis};
 use sufsat::{decide, DecideOptions, EncodingMode, Outcome, TermId, TermManager};
@@ -243,28 +243,39 @@ fn build_random_suf(tm: &mut TermManager, recipe: &[(u8, u8, u8)], n_vars: usize
     bools.last().copied().unwrap_or_else(|| tm.mk_true())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_recipe(rng: &mut Prng, max_len: usize) -> Vec<(u8, u8, u8)> {
+    let len = rng.random_range(2..max_len);
+    (0..len)
+        .map(|_| (rng.random_u8(), rng.random_u8(), rng.random_u8()))
+        .collect()
+}
 
-    #[test]
-    fn all_procedures_agree_with_exhaustive_oracle(
-        recipe in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..14),
-    ) {
+#[test]
+fn all_procedures_agree_with_exhaustive_oracle() {
+    let mut rng = Prng::seed_from_u64(0xc405_0001);
+    for _case in 0..24 {
+        let recipe = random_recipe(&mut rng, 14);
         let mut tm = TermManager::new();
         let phi = build_random_sep(&mut tm, &recipe, 3);
         let analysis = SepAnalysis::new(&tm, phi, &HashSet::new());
         let expected = match brute_force_validity(&tm, phi, &analysis, 1, 200_000) {
             OracleResult::Valid => true,
             OracleResult::Invalid(_) => false,
-            OracleResult::TooLarge => return Ok(()),
+            OracleResult::TooLarge => continue,
         };
-        prop_assert_eq!(decide_all_ways(&mut tm, phi), expected);
+        assert_eq!(
+            decide_all_ways(&mut tm, phi),
+            expected,
+            "recipe: {recipe:?}"
+        );
     }
+}
 
-    #[test]
-    fn all_procedures_agree_on_uf_formulas(
-        recipe in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..12),
-    ) {
+#[test]
+fn all_procedures_agree_on_uf_formulas() {
+    let mut rng = Prng::seed_from_u64(0xc405_0002);
+    for _case in 0..24 {
+        let recipe = random_recipe(&mut rng, 12);
         let mut tm = TermManager::new();
         let phi = build_random_suf(&mut tm, &recipe, 3);
         // Agreement is the property; the return value is incidental.

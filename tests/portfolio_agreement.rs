@@ -1,0 +1,64 @@
+//! Portfolio-vs-single-lane agreement over the whole synthetic suite.
+//!
+//! The portfolio adopts whichever lane answers first, so its verdict must
+//! match single-lane [`decide`] whenever both answer — soundness of the
+//! lanes makes any definitive answer THE answer, and this test checks that
+//! property end to end on all 49 benchmarks, whatever lane happens to win
+//! the race on this machine.
+
+use std::time::Duration;
+
+use sufsat::workloads::suite;
+use sufsat::{decide, decide_portfolio, DecideOptions, Outcome, PortfolioOptions};
+
+#[test]
+fn portfolio_agrees_with_hybrid_on_the_whole_suite() {
+    // Short per-run timeout: the heavyweight suite members time out in
+    // both procedures (which counts as agreement); everything that
+    // answers must answer identically.
+    let timeout = Duration::from_millis(1500);
+    let mut answered = 0usize;
+    for mut bench in suite() {
+        let mut single = DecideOptions::default();
+        single.timeout = Some(timeout);
+        let mut single_tm = bench.tm.clone();
+        let d = decide(&mut single_tm, bench.formula, &single);
+
+        let mut options = PortfolioOptions::default();
+        options.base.timeout = Some(timeout);
+        let p = decide_portfolio(&mut bench.tm, bench.formula, &options);
+
+        // Soundness against the construction's known validity.
+        if let (Some(expected), false) = (bench.expected, matches!(p.outcome, Outcome::Unknown(_)))
+        {
+            assert_eq!(
+                p.outcome.is_valid(),
+                expected,
+                "{}: portfolio verdict contradicts construction",
+                bench.name
+            );
+        }
+        // Agreement whenever both procedures answered.
+        let both_answered = !matches!(d.outcome, Outcome::Unknown(_))
+            && !matches!(p.outcome, Outcome::Unknown(_));
+        if both_answered {
+            answered += 1;
+            assert_eq!(
+                d.outcome.is_valid(),
+                p.outcome.is_valid(),
+                "{}: portfolio ({:?} won) disagrees with single-lane HYBRID",
+                bench.name,
+                p.winner_mode()
+            );
+        }
+        // A portfolio answer always names the lane it came from.
+        if !matches!(p.outcome, Outcome::Unknown(_)) {
+            assert!(p.winner.is_some(), "{}", bench.name);
+        }
+    }
+    // The suite must actually exercise the comparison, not time out whole.
+    assert!(
+        answered >= 20,
+        "only {answered} of 49 benchmarks answered in both procedures"
+    );
+}
