@@ -326,8 +326,9 @@ pub fn decide_lazy(
                 return (Outcome::Invalid(cex), stats);
             }
             DiffResult::Unsat(core) => {
-                // Conflict clause: block the combination of atom values
-                // (and their ITE-path supports) behind the core.
+                // Conflict clause: block the combination of atom and
+                // Boolean-constant values (ITE-path supports) behind the
+                // core.
                 let mut blocked: HashMap<TermId, bool> = HashMap::new();
                 for tag in core {
                     for &(atom, value) in &tag_support[tag] {
@@ -336,9 +337,12 @@ pub fn decide_lazy(
                 }
                 let clause: Vec<sufsat_sat::Lit> = blocked
                     .iter()
-                    .map(|(&atom, &value)| {
-                        let sig = atom_sig[&atom];
-                        let lit = map.lit(sig).expect("atoms are pinned");
+                    .map(|(&node, &value)| {
+                        let sig = match tm.term(node) {
+                            Term::BoolVar(b) => bool_sig_of_sym[b],
+                            _ => atom_sig[&node],
+                        };
+                        let lit = map.lit(sig).expect("abstraction inputs are pinned");
                         if value {
                             !lit
                         } else {
@@ -437,12 +441,19 @@ impl BoolEval<'_> {
     }
 
     /// Collects the model values of all atoms and Boolean constants inside
-    /// a condition (conservative support for conflict clauses).
+    /// a condition (conservative support for conflict clauses). Boolean
+    /// constants matter as much as atoms: omitting a `BoolVar` that picked
+    /// an ITE branch would let the conflict clause block the other branch
+    /// too, losing counterexamples.
     fn collect_support(&mut self, cond: TermId, out: &mut Vec<(TermId, bool)>) {
         for id in self.tm.postorder(cond) {
             match self.tm.term(id) {
                 Term::Eq(..) | Term::Lt(..) => {
                     let v = self.atom_vals.get(&id).copied().unwrap_or(false);
+                    out.push((id, v));
+                }
+                Term::BoolVar(b) => {
+                    let v = self.bool_vals.get(b).copied().unwrap_or(false);
                     out.push((id, v));
                 }
                 _ => {}
@@ -529,6 +540,26 @@ mod tests {
         let phi = tm.mk_ge(max, y);
         let (outcome, _) = lazy(&mut tm, phi);
         assert!(outcome.is_valid());
+    }
+
+    #[test]
+    fn boolean_ite_conditions_contribute_support() {
+        // Found by differential fuzzing (corpus seed 1, case 450):
+        // ite(b, x, y) < y+1 is falsifiable (b with a large x), but a
+        // conflict clause that omits `b` from the support of the
+        // theory-refuted b=false branch wrongly refutes both branches.
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let b = tm.bool_var("b");
+        let ite = tm.mk_ite_int(b, x, y);
+        let sy = tm.mk_succ(y);
+        let phi = tm.mk_lt(ite, sy);
+        let (outcome, _) = lazy(&mut tm, phi);
+        let Outcome::Invalid(cex) = outcome else {
+            panic!("ite(b, x, y) < y+1 must be falsifiable, got valid/unknown");
+        };
+        assert!(!cex.evaluate(&tm, phi));
     }
 
     #[test]

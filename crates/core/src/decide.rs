@@ -15,10 +15,14 @@
 
 use std::time::{Duration, Instant};
 
-use sufsat_encode::{decode_model, encode, load_into_solver, CnfMode, EncodeOptions, EncodingMode};
+use sufsat_encode::{
+    encode, load_into_solver, try_decode_model, CnfMode, EncodeOptions, EncodingMode,
+};
 use sufsat_sat::{CancelToken, Interrupt, SolveResult, Solver};
 use sufsat_seplog::{SepAnalysis, SepAssignment};
 use sufsat_suf::{eliminate, TermId, TermManager};
+
+use crate::certify::{certify_env, counterexample_falsifies_original, Certificate};
 
 /// Options controlling [`decide`].
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +44,13 @@ pub struct DecideOptions {
     /// [`Outcome::Unknown`]`(`[`StopReason::Cancelled`]`)` — this is how
     /// the portfolio engine retires losing lanes.
     pub cancel: Option<CancelToken>,
+    /// Certify the answer: SAT models are replayed through the reference
+    /// evaluator against both the separation formula and the original
+    /// formula, and UNSAT answers log a DRAT proof that is replayed
+    /// through the built-in RUP checker. The evidence is reported in
+    /// [`Decision::certificate`]; certification failures are *reported*
+    /// rather than panicked on, so a fuzzing oracle can shrink them.
+    pub certify: bool,
 }
 
 impl Default for DecideOptions {
@@ -51,6 +62,7 @@ impl Default for DecideOptions {
             conflict_budget: None,
             timeout: None,
             cancel: None,
+            certify: false,
         }
     }
 }
@@ -168,6 +180,10 @@ pub struct Decision {
     pub outcome: Outcome,
     /// The measurements.
     pub stats: DecideStats,
+    /// Machine-checked evidence for the verdict, present when
+    /// [`DecideOptions::certify`] was set and the run produced a
+    /// definitive answer.
+    pub certificate: Option<Certificate>,
 }
 
 /// Decides validity of the SUF formula `phi`.
@@ -226,6 +242,7 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
         return Decision {
             outcome: Outcome::Unknown(StopReason::Cancelled),
             stats,
+            certificate: None,
         };
     }
 
@@ -251,6 +268,7 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
             return Decision {
                 outcome: Outcome::Unknown(reason),
                 stats,
+                certificate: None,
             };
         }
     };
@@ -261,6 +279,9 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
 
     // Step 4: check ¬F_bool = F_trans ∧ ¬F_bvar.
     let mut solver = Solver::new();
+    if options.certify {
+        solver.enable_proof();
+    }
     let map = load_into_solver(
         &encoded.circuit,
         &[!encoded.formula],
@@ -280,24 +301,71 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
     stats.decisions = solver.stats().decisions;
     stats.propagations = solver.stats().propagations;
 
+    let mut certificate = None;
     let outcome = match result {
-        SolveResult::Unsat => Outcome::Valid,
-        SolveResult::Sat => {
-            let cex = decode_model(&encoded, &map, &solver);
-            assert!(
-                !cex.evaluate(tm, elim.formula),
-                "internal soundness bug: decoded counterexample does not \
-                 falsify the separation formula"
-            );
-            Outcome::Invalid(cex)
+        SolveResult::Unsat => {
+            if options.certify {
+                certificate = Some(Certificate::Refutation {
+                    steps: solver.proof().map_or(0, |p| p.steps().len()),
+                    checked: solver.check_proof().unwrap_or(false),
+                });
+            }
+            Outcome::Valid
         }
+        SolveResult::Sat => match try_decode_model(&encoded, &map, &solver) {
+            Ok(cex) => {
+                let falsifies_separation = !cex.evaluate(tm, elim.formula);
+                if options.certify {
+                    certificate = Some(Certificate::Counterexample {
+                        decoded: true,
+                        falsifies_separation,
+                        falsifies_original: counterexample_falsifies_original(
+                            tm, phi, &elim, &cex,
+                        ),
+                    });
+                } else {
+                    assert!(
+                        falsifies_separation,
+                        "internal soundness bug: decoded counterexample does not \
+                         falsify the separation formula: {cex:?}"
+                    );
+                    // Debug builds (and SUFSAT_CERTIFY=1 release runs)
+                    // additionally replay the model against the original
+                    // pre-elimination formula.
+                    if cfg!(debug_assertions) || certify_env() {
+                        assert!(
+                            counterexample_falsifies_original(tm, phi, &elim, &cex),
+                            "internal soundness bug: decoded counterexample does not \
+                             falsify the original formula: {cex:?}"
+                        );
+                    }
+                }
+                Outcome::Invalid(cex)
+            }
+            Err(err) => {
+                if options.certify {
+                    certificate = Some(Certificate::Counterexample {
+                        decoded: false,
+                        falsifies_separation: false,
+                        falsifies_original: false,
+                    });
+                    Outcome::Invalid(SepAssignment::default())
+                } else {
+                    panic!("{err}");
+                }
+            }
+        },
         SolveResult::Unknown(Interrupt::ConflictBudget) => {
             Outcome::Unknown(StopReason::ConflictBudget)
         }
         SolveResult::Unknown(Interrupt::Timeout) => Outcome::Unknown(StopReason::Timeout),
         SolveResult::Unknown(Interrupt::Cancelled) => Outcome::Unknown(StopReason::Cancelled),
     };
-    Decision { outcome, stats }
+    Decision {
+        outcome,
+        stats,
+        certificate,
+    }
 }
 
 fn cancel_requested(options: &DecideOptions) -> bool {
@@ -390,6 +458,52 @@ mod tests {
             let phi = tm.mk_implies(hyp, conc);
             let d = decide(&mut tm, phi, &DecideOptions::with_mode(mode));
             assert!(d.outcome.is_valid(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn certified_valid_carries_checked_refutation() {
+        for mode in modes() {
+            let mut tm = TermManager::new();
+            let f = tm.declare_fun("f", 1);
+            let x = tm.int_var("x");
+            let y = tm.int_var("y");
+            let fx = tm.mk_app(f, vec![x]);
+            let fy = tm.mk_app(f, vec![y]);
+            let hyp = tm.mk_eq(x, y);
+            let conc = tm.mk_eq(fx, fy);
+            let phi = tm.mk_implies(hyp, conc);
+            let mut options = DecideOptions::with_mode(mode);
+            options.certify = true;
+            let d = decide(&mut tm, phi, &options);
+            assert!(d.outcome.is_valid(), "{mode:?}");
+            let Some(cert @ Certificate::Refutation { .. }) = d.certificate else {
+                panic!("{mode:?}: expected a refutation certificate, got {:?}", d.certificate);
+            };
+            assert!(cert.holds(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn certified_invalid_carries_replayed_counterexample() {
+        for mode in modes() {
+            let mut tm = TermManager::new();
+            let f = tm.declare_fun("f", 1);
+            let x = tm.int_var("x");
+            let y = tm.int_var("y");
+            let fx = tm.mk_app(f, vec![x]);
+            let fy = tm.mk_app(f, vec![y]);
+            let hyp = tm.mk_eq(fx, fy);
+            let conc = tm.mk_eq(x, y);
+            let phi = tm.mk_implies(hyp, conc);
+            let mut options = DecideOptions::with_mode(mode);
+            options.certify = true;
+            let d = decide(&mut tm, phi, &options);
+            assert!(matches!(d.outcome, Outcome::Invalid(_)), "{mode:?}");
+            let Some(cert @ Certificate::Counterexample { .. }) = d.certificate else {
+                panic!("{mode:?}: expected a counterexample certificate, got {:?}", d.certificate);
+            };
+            assert!(cert.holds(), "{mode:?}");
         }
     }
 

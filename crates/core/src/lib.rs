@@ -33,11 +33,15 @@
 #![warn(missing_docs)]
 
 mod bmc;
+mod certify;
 mod decide;
 mod portfolio;
 mod threshold;
 
 pub use bmc::{check_bounded, BmcResult, TransitionSystem};
+pub use certify::{
+    counterexample_falsifies_original, counterexample_interpretation, Certificate,
+};
 pub use decide::{
     decide, DecideOptions, DecideStats, Decision, Outcome, StopReason, DEFAULT_SEP_THOLD,
 };

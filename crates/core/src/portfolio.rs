@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use sufsat_sat::CancelToken;
 use sufsat_suf::{TermId, TermManager};
 
+use crate::certify::Certificate;
 use crate::decide::{decide, DecideOptions, DecideStats, Decision, Outcome, DEFAULT_SEP_THOLD};
 use crate::EncodingMode;
 
@@ -94,6 +95,10 @@ pub struct PortfolioDecision {
     pub lanes: Vec<LaneReport>,
     /// Wall-clock time of the whole race.
     pub wall_time: Duration,
+    /// The winning lane's certificate, when
+    /// [`DecideOptions::certify`](crate::DecideOptions::certify) is set on
+    /// the base options and a lane produced a definitive answer.
+    pub certificate: Option<Certificate>,
 }
 
 impl PortfolioDecision {
@@ -212,6 +217,7 @@ pub fn decide_portfolio(
         stats: decision.stats,
         lanes,
         wall_time: start.elapsed(),
+        certificate: decision.certificate,
     }
 }
 

@@ -14,6 +14,30 @@ use sufsat_suf::VarSym;
 use crate::cnf::SignalMap;
 use crate::encoder::{ClassMethod, Encoded};
 
+/// Failure to reconstruct an integer model from a satisfying SAT
+/// assignment: an EIJ class's active bounds had no integer solution,
+/// meaning the transitivity constraints were incomplete. This is always an
+/// encoder bug; the fuzzing oracle reports it as a failed certificate
+/// instead of crashing the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeFailure {
+    /// Index of the equivalence class whose bounds were inconsistent.
+    pub class: usize,
+}
+
+impl std::fmt::Display for DecodeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EIJ model of class {} has no integer extension: transitivity \
+             constraints are incomplete",
+            self.class
+        )
+    }
+}
+
+impl std::error::Error for DecodeFailure {}
+
 /// Decodes a satisfying SAT model (a falsifying interpretation of the
 /// original formula) into a concrete assignment.
 ///
@@ -21,8 +45,27 @@ use crate::encoder::{ClassMethod, Encoded};
 ///
 /// Panics if an EIJ class's active bounds have no integer solution — which
 /// would indicate that the transitivity constraints were incomplete (an
-/// internal invariant, heavily tested).
+/// internal invariant, heavily tested). [`try_decode_model`] is the
+/// non-panicking variant used by the certification path.
 pub fn decode_model(encoded: &Encoded, map: &SignalMap, solver: &Solver) -> SepAssignment {
+    match try_decode_model(encoded, map, solver) {
+        Ok(assignment) => assignment,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Decodes a satisfying SAT model, reporting an inconsistent EIJ class as
+/// an error instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`DecodeFailure`] if an EIJ class's active bounds have no
+/// integer solution (an internal soundness bug in the encoder).
+pub fn try_decode_model(
+    encoded: &Encoded,
+    map: &SignalMap,
+    solver: &Solver,
+) -> Result<SepAssignment, DecodeFailure> {
     let decode = &encoded.decode;
     let mut out = SepAssignment::default();
 
@@ -109,10 +152,7 @@ pub fn decode_model(encoded: &Encoded, map: &SignalMap, solver: &Solver) -> SepA
                     out.ints.insert(v, val - min);
                 }
             }
-            DiffResult::Unsat(_) => panic!(
-                "EIJ model has no integer extension: transitivity \
-                 constraints are incomplete"
-            ),
+            DiffResult::Unsat(_) => return Err(DecodeFailure { class: cid }),
         }
     }
 
@@ -122,5 +162,5 @@ pub fn decode_model(encoded: &Encoded, map: &SignalMap, solver: &Solver) -> SepA
     for (i, &v) in decode.p_vars.iter().enumerate() {
         out.ints.insert(v, base + i as i64 * stride);
     }
-    out
+    Ok(out)
 }

@@ -39,7 +39,7 @@ mod trans;
 
 pub use circuit::{Circuit, GateNode, Signal};
 pub use cnf::{load_into_solver, CnfMode, SignalMap};
-pub use decode::decode_model;
+pub use decode::{decode_model, try_decode_model, DecodeFailure};
 pub use encoder::{
     encode, ClassMethod, DecodeInfo, EncodeOptions, EncodeStats, Encoded, EncodingMode,
 };

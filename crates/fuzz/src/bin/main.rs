@@ -1,0 +1,197 @@
+//! `sufsat-fuzz` — differential fuzzing CLI.
+//!
+//! Typical runs:
+//!
+//! ```text
+//! sufsat-fuzz --seed 1 --cases 1000 --corpus fuzz-corpus
+//! sufsat-fuzz --replay fuzz-corpus/case-…-disagreement.suf
+//! ```
+//!
+//! Exit status is 0 when every case passed, 1 when any failure was
+//! found (reproducers are written to the corpus directory), 2 on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sufsat_fuzz::{
+    default_procedures, read_reproducer, run_campaign, run_oracle, CampaignConfig, OracleOptions,
+};
+use sufsat_suf::TermManager;
+
+const USAGE: &str = "\
+sufsat-fuzz — differential fuzzing and self-checking oracle harness
+
+USAGE:
+    sufsat-fuzz [OPTIONS]
+    sufsat-fuzz --replay <FILE>...
+
+OPTIONS:
+    --seed <N>          campaign seed (default 0)
+    --cases <N>         number of generated cases (default 200)
+    --ops <N>           construction steps per formula (default 18)
+    --max-offset <N>    largest succ/pred offset magnitude (default 2)
+    --timeout-ms <N>    per-procedure timeout (default 2000)
+    --trans-budget <N>  transitivity-constraint budget (default 2000000)
+    --corpus <DIR>      write reproducers here (default fuzz-corpus)
+    --max-failures <N>  stop after N failures (default 10)
+    --replay <FILE>     re-run the panel on a reproducer file (repeatable)
+    --print-case <N>    print the generated problem for case N and exit
+    --no-metamorphic    skip the metamorphic relation checks
+    --no-baselines      drop the lazy/SVC baselines from the panel
+    --no-portfolio      drop the portfolio engine from the panel
+    --no-certify        skip model replay and DRAT/RUP proof checking
+    --no-shrink         report failures without minimizing them
+    --quiet             no progress output
+    -h, --help          this text
+";
+
+struct Cli {
+    config: CampaignConfig,
+    replay: Vec<PathBuf>,
+    print_case: Option<usize>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut config = CampaignConfig {
+        cases: 200,
+        corpus_dir: Some(PathBuf::from("fuzz-corpus")),
+        log_every: 50,
+        ..CampaignConfig::default()
+    };
+    let mut replay = Vec::new();
+    let mut print_case = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => config.seed = parse_num(value("--seed")?)?,
+            "--cases" => config.cases = parse_num(value("--cases")?)?,
+            "--ops" => config.gen.ops = parse_num(value("--ops")?)?,
+            "--max-offset" => config.gen.max_offset = parse_num(value("--max-offset")?)?,
+            "--timeout-ms" => {
+                config.oracle.timeout = Duration::from_millis(parse_num(value("--timeout-ms")?)?)
+            }
+            "--trans-budget" => {
+                config.oracle.trans_budget = parse_num(value("--trans-budget")?)?
+            }
+            "--corpus" => config.corpus_dir = Some(PathBuf::from(value("--corpus")?)),
+            "--max-failures" => config.max_failures = parse_num(value("--max-failures")?)?,
+            "--replay" => replay.push(PathBuf::from(value("--replay")?)),
+            "--print-case" => print_case = Some(parse_num(value("--print-case")?)?),
+            "--no-metamorphic" => config.metamorphic = false,
+            "--no-baselines" => config.oracle.include_baselines = false,
+            "--no-portfolio" => config.oracle.include_portfolio = false,
+            "--no-certify" => config.oracle.certify = false,
+            "--no-shrink" => config.shrink = false,
+            "--quiet" => config.log_every = 0,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Cli {
+        config,
+        replay,
+        print_case,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+fn replay_files(files: &[PathBuf], oracle: &OracleOptions) -> ExitCode {
+    let procs = default_procedures(oracle);
+    let mut failed = false;
+    for path in files {
+        let mut tm = TermManager::new();
+        let phi = match read_reproducer(&mut tm, path) {
+            Ok(phi) => phi,
+            Err(e) => {
+                eprintln!("sufsat-fuzz: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match run_oracle(&tm, phi, &procs) {
+            Ok(report) => {
+                let verdict = report
+                    .consensus
+                    .map_or("unknown".to_string(), |v| v.to_string());
+                println!(
+                    "{}: agreed ({verdict}, {} certified answers)",
+                    path.display(),
+                    report.certified_count()
+                );
+            }
+            Err(err) => {
+                failed = true;
+                println!("{}: STILL FAILING — {err}", path.display());
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("sufsat-fuzz: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(case_index) = cli.print_case {
+        let seed = sufsat_fuzz::case_seed(cli.config.seed, case_index);
+        let cfg = sufsat_fuzz::case_gen_config(&cli.config.gen, case_index);
+        let mut tm = TermManager::new();
+        let mut rng = sufsat_prng::Prng::seed_from_u64(seed);
+        let phi = sufsat_fuzz::generate(&mut tm, &mut rng, &cfg);
+        println!("; seed: {} case: {case_index}", cli.config.seed);
+        println!("{}", sufsat_suf::print_problem(&tm, phi));
+        return ExitCode::SUCCESS;
+    }
+
+    if !cli.replay.is_empty() {
+        return replay_files(&cli.replay, &cli.config.oracle);
+    }
+
+    let summary = run_campaign(&cli.config);
+    println!(
+        "sufsat-fuzz: {} cases ({} definitive), {} definitive answers, {} certified, \
+         {} metamorphic checks, {} failures",
+        summary.cases_run,
+        summary.definitive_cases,
+        summary.definitive_answers,
+        summary.certified_answers,
+        summary.meta_checks,
+        summary.failures.len()
+    );
+    for f in &summary.failures {
+        println!(
+            "  case {} (seed {:#018x}) [{}]: {}",
+            f.case_index, f.case_seed, f.kind, f.detail
+        );
+        println!("    shrunk ({} atoms): {}", f.atoms, f.shrunk_text);
+        if let Some(path) = &f.path {
+            println!("    reproducer: {}", path.display());
+        }
+    }
+    if summary.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,128 @@
+//! Self-contained reproducer files.
+//!
+//! Every oracle failure is persisted as a single `.suf` file that the
+//! stock problem parser can read back directly: a `;`-comment header
+//! records the campaign seed, case index and failure, the shrunk problem
+//! is the only uncommented text, and the original (pre-shrink) problem
+//! rides along commented out. `sufsat-fuzz --replay <file>` re-runs the
+//! panel on it; the checked-in regression corpus replays in `cargo test`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sufsat_suf::{print_problem, TermId, TermManager};
+
+/// Provenance recorded in a reproducer header.
+#[derive(Debug, Clone)]
+pub struct ReproducerInfo {
+    /// Campaign seed the failing case came from.
+    pub campaign_seed: u64,
+    /// Case index within the campaign.
+    pub case_index: usize,
+    /// Stable failure kind (`disagreement` / `certificate` / `panic`).
+    pub kind: String,
+    /// Human-readable failure description.
+    pub detail: String,
+}
+
+/// Renders a reproducer file's full text.
+pub fn reproducer_text(
+    info: &ReproducerInfo,
+    tm: &TermManager,
+    shrunk: TermId,
+    original: TermId,
+) -> String {
+    let mut out = String::new();
+    out.push_str("; sufsat-fuzz reproducer\n");
+    out.push_str(&format!(
+        "; seed: {} case: {}\n",
+        info.campaign_seed, info.case_index
+    ));
+    out.push_str(&format!("; failure: {}\n", info.kind));
+    for line in info.detail.lines() {
+        out.push_str(&format!("; detail: {line}\n"));
+    }
+    out.push_str(&print_problem(tm, shrunk));
+    out.push('\n');
+    if shrunk != original {
+        out.push_str("; original (pre-shrink):\n");
+        for line in print_problem(tm, original).lines() {
+            out.push_str(&format!("; {line}\n"));
+        }
+    }
+    out
+}
+
+/// Deterministic file name for a failure, derived from provenance only.
+pub fn reproducer_file_name(info: &ReproducerInfo) -> String {
+    format!(
+        "case-{:016x}-{:05}-{}.suf",
+        info.campaign_seed, info.case_index, info.kind
+    )
+}
+
+/// Writes the reproducer into `dir` (created if missing); returns the path.
+pub fn write_reproducer(
+    dir: &Path,
+    info: &ReproducerInfo,
+    tm: &TermManager,
+    shrunk: TermId,
+    original: TermId,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(reproducer_file_name(info));
+    fs::write(&path, reproducer_text(info, tm, shrunk, original))?;
+    Ok(path)
+}
+
+/// Parses a reproducer file's problem (the shrunk formula) into `tm`.
+pub fn read_reproducer(tm: &mut TermManager, path: &Path) -> io::Result<TermId> {
+    let text = fs::read_to_string(path)?;
+    sufsat_suf::parse_problem(tm, &text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufsat_suf::parse_problem;
+
+    #[test]
+    fn reproducer_round_trips_through_the_parser() {
+        let mut tm = TermManager::new();
+        let original = parse_problem(
+            &mut tm,
+            "(vars x y) (funs (f 1)) (formula (and (< x y) (= (f x) y)))",
+        )
+        .expect("parses");
+        let shrunk = parse_problem(&mut tm, "(vars x y) (formula (< x y))").expect("parses");
+        let info = ReproducerInfo {
+            campaign_seed: 42,
+            case_index: 7,
+            kind: "disagreement".to_string(),
+            detail: "eager:sd=valid baseline:lazy=invalid\nsecond line".to_string(),
+        };
+        let text = reproducer_text(&info, &tm, shrunk, original);
+        assert!(text.contains("; seed: 42 case: 7"));
+        assert!(text.contains("; failure: disagreement"));
+        assert!(text.contains("; original (pre-shrink):"));
+        let mut tm2 = TermManager::new();
+        let parsed = parse_problem(&mut tm2, &text).expect("shrunk problem parses back");
+        assert_eq!(tm2.dag_size(parsed), tm.dag_size(shrunk));
+    }
+
+    #[test]
+    fn file_name_is_deterministic_and_fs_safe() {
+        let info = ReproducerInfo {
+            campaign_seed: 0xdead_beef,
+            case_index: 3,
+            kind: "panic".to_string(),
+            detail: String::new(),
+        };
+        assert_eq!(
+            reproducer_file_name(&info),
+            "case-00000000deadbeef-00003-panic.suf"
+        );
+    }
+}

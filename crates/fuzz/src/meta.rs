@@ -1,0 +1,171 @@
+//! Metamorphic transforms.
+//!
+//! Each transform produces a formula whose validity relates to the input's
+//! in a known way, multiplying the coverage of every generated case beyond
+//! the plain differential check:
+//!
+//! * [`alpha_rename`] — renames every symbolic constant, function and
+//!   predicate symbol. Validity is preserved exactly.
+//! * [`shift_ints`] — adds the same constant offset to every integer
+//!   symbolic constant. Separation logic is translation-invariant, so
+//!   validity is preserved exactly.
+//! * negation (`mk_not`) — a formula and its negation can never both be
+//!   valid, and a valid formula's negation is unsatisfiable, hence
+//!   invalid.
+
+use std::collections::HashMap;
+
+use sufsat_suf::{substitute, Term, TermId, TermManager};
+
+/// Rebuilds `root` with every integer/Boolean constant and every
+/// function/predicate symbol renamed to a fresh `ren!…` name. The result
+/// is equivalid with the input.
+pub fn alpha_rename(tm: &mut TermManager, root: TermId) -> TermId {
+    let order = tm.postorder(root);
+    let mut map: HashMap<TermId, TermId> = HashMap::with_capacity(order.len());
+    let mut fun_map = HashMap::new();
+    let mut pred_map = HashMap::new();
+    for id in order {
+        let get = |m: &HashMap<TermId, TermId>, c: TermId| -> TermId { m[&c] };
+        let new_id = match tm.term(id).clone() {
+            Term::IntVar(v) => {
+                let name = format!("ren!{}", tm.int_var_name(v));
+                tm.int_var(&name)
+            }
+            Term::BoolVar(b) => {
+                let name = format!("ren!{}", tm.bool_var_name(b));
+                tm.bool_var(&name)
+            }
+            Term::App(f, args) => {
+                let args: Vec<TermId> = args.iter().map(|&a| get(&map, a)).collect();
+                let nf = *fun_map.entry(f).or_insert_with(|| {
+                    let name = format!("ren!{}", tm.fun_name(f));
+                    let arity = tm.fun_arity(f);
+                    tm.declare_fun(&name, arity)
+                });
+                tm.mk_app(nf, args)
+            }
+            Term::PApp(p, args) => {
+                let args: Vec<TermId> = args.iter().map(|&a| get(&map, a)).collect();
+                let np = *pred_map.entry(p).or_insert_with(|| {
+                    let name = format!("ren!{}", tm.pred_name(p));
+                    let arity = tm.pred_arity(p);
+                    tm.declare_pred(&name, arity)
+                });
+                tm.mk_papp(np, args)
+            }
+            Term::True => tm.mk_true(),
+            Term::False => tm.mk_false(),
+            Term::Not(a) => {
+                let a = get(&map, a);
+                tm.mk_not(a)
+            }
+            Term::And(a, b) => {
+                let (a, b) = (get(&map, a), get(&map, b));
+                tm.mk_and(a, b)
+            }
+            Term::Or(a, b) => {
+                let (a, b) = (get(&map, a), get(&map, b));
+                tm.mk_or(a, b)
+            }
+            Term::Implies(a, b) => {
+                let (a, b) = (get(&map, a), get(&map, b));
+                tm.mk_implies(a, b)
+            }
+            Term::Iff(a, b) => {
+                let (a, b) = (get(&map, a), get(&map, b));
+                tm.mk_iff(a, b)
+            }
+            Term::IteBool(c, t, e) => {
+                let (c, t, e) = (get(&map, c), get(&map, t), get(&map, e));
+                tm.mk_ite_bool(c, t, e)
+            }
+            Term::Eq(a, b) => {
+                let (a, b) = (get(&map, a), get(&map, b));
+                tm.mk_eq(a, b)
+            }
+            Term::Lt(a, b) => {
+                let (a, b) = (get(&map, a), get(&map, b));
+                tm.mk_lt(a, b)
+            }
+            Term::Succ(a) => {
+                let a = get(&map, a);
+                tm.mk_succ(a)
+            }
+            Term::Pred(a) => {
+                let a = get(&map, a);
+                tm.mk_pred(a)
+            }
+            Term::IteInt(c, t, e) => {
+                let (c, t, e) = (get(&map, c), get(&map, t), get(&map, e));
+                tm.mk_ite_int(c, t, e)
+            }
+        };
+        map.insert(id, new_id);
+    }
+    map[&root]
+}
+
+/// Shifts every integer symbolic constant occurring in `root` by `k`
+/// (replacing `v` with `v + k`). The result is equivalid with the input.
+pub fn shift_ints(tm: &mut TermManager, root: TermId, k: i64) -> TermId {
+    if k == 0 {
+        return root;
+    }
+    let vars: Vec<TermId> = tm
+        .postorder(root)
+        .into_iter()
+        .filter(|&id| matches!(tm.term(id), Term::IntVar(_)))
+        .collect();
+    let mut map = HashMap::with_capacity(vars.len());
+    for v in vars {
+        let shifted = tm.mk_offset(v, k);
+        map.insert(v, shifted);
+    }
+    substitute(tm, root, &map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufsat_core::{decide, DecideOptions};
+
+    fn verdict(tm: &mut TermManager, phi: TermId) -> bool {
+        decide(tm, phi, &DecideOptions::default()).outcome.is_valid()
+    }
+
+    #[test]
+    fn alpha_rename_preserves_validity() {
+        let cases = [
+            ("(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))", true),
+            ("(vars x y) (funs (f 1)) (formula (=> (= (f x) (f y)) (= x y)))", false),
+            ("(vars a b c) (preds (q 1)) (formula (=> (and (< a b) (< b c)) (< a c)))", true),
+        ];
+        for (text, expected) in cases {
+            let mut tm = TermManager::new();
+            let phi = sufsat_suf::parse_problem(&mut tm, text).expect("parses");
+            let renamed = alpha_rename(&mut tm, phi);
+            assert_eq!(verdict(&mut tm, renamed), expected, "{text}");
+            // Renaming twice is still equivalid.
+            let twice = alpha_rename(&mut tm, renamed);
+            assert_eq!(verdict(&mut tm, twice), expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn shift_preserves_validity() {
+        let cases = [
+            ("(vars x y) (formula (or (< x y) (>= x y)))", true),
+            ("(vars x y) (formula (< x (succ y)))", false),
+            ("(vars x) (formula (< x (succ x)))", true),
+        ];
+        for (text, expected) in cases {
+            for k in [-3i64, 1, 7] {
+                let mut tm = TermManager::new();
+                let phi = sufsat_suf::parse_problem(&mut tm, text).expect("parses");
+                let shifted = shift_ints(&mut tm, phi, k);
+                assert_eq!(verdict(&mut tm, shifted), expected, "{text} shift {k}");
+            }
+        }
+    }
+}

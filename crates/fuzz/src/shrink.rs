@@ -1,0 +1,211 @@
+//! Delta-debugging shrinker.
+//!
+//! Given a formula on which some predicate (the oracle, re-run with the
+//! original failure kind) still fails, the shrinker greedily tries
+//! single-node simplifications — dropping conjuncts, inlining ITE
+//! branches, collapsing offset chains and applications, renaming symbols
+//! to a canonical one — and keeps any replacement that both shrinks the
+//! formula and preserves the failure. The result is a locally minimal
+//! reproducer, typically a handful of atoms.
+
+use std::collections::{HashMap, HashSet};
+
+use sufsat_suf::{substitute, Term, TermId, TermManager};
+
+/// Number of atomic formulas (comparisons, predicate applications and
+/// Boolean constants) in `root` — the size the acceptance bar is stated
+/// in ("shrunk to ≤ N atoms").
+pub fn count_atoms(tm: &TermManager, root: TermId) -> usize {
+    tm.postorder(root)
+        .into_iter()
+        .filter(|&id| {
+            matches!(
+                tm.term(id),
+                Term::Eq(..) | Term::Lt(..) | Term::PApp(..) | Term::BoolVar(_)
+            )
+        })
+        .count()
+}
+
+fn distinct_symbols(tm: &TermManager, root: TermId) -> usize {
+    let mut ints = HashSet::new();
+    let mut bools = HashSet::new();
+    let mut funs = HashSet::new();
+    let mut preds = HashSet::new();
+    for id in tm.postorder(root) {
+        match tm.term(id) {
+            Term::IntVar(v) => {
+                ints.insert(*v);
+            }
+            Term::BoolVar(b) => {
+                bools.insert(*b);
+            }
+            Term::App(f, _) => {
+                funs.insert(*f);
+            }
+            Term::PApp(p, _) => {
+                preds.insert(*p);
+            }
+            _ => {}
+        }
+    }
+    ints.len() + bools.len() + funs.len() + preds.len()
+}
+
+/// Lexicographic shrink metric: node count first, then symbol count, so
+/// a rename that removes a symbol counts as progress even at equal size.
+fn metric(tm: &TermManager, root: TermId) -> (usize, usize) {
+    (tm.dag_size(root), distinct_symbols(tm, root))
+}
+
+/// Replacement candidates for one node, cheapest-looking first.
+fn candidates(tm: &mut TermManager, root: TermId, node: TermId) -> Vec<TermId> {
+    let mut out = Vec::new();
+    match tm.term(node).clone() {
+        Term::True | Term::False => {}
+        Term::Not(a) => out.push(a),
+        Term::And(a, b) | Term::Or(a, b) | Term::Implies(a, b) | Term::Iff(a, b) => {
+            out.push(a);
+            out.push(b);
+        }
+        Term::IteBool(_, t, e) => {
+            out.push(t);
+            out.push(e);
+        }
+        Term::IteInt(_, t, e) => {
+            out.push(t);
+            out.push(e);
+        }
+        Term::Succ(a) | Term::Pred(a) => out.push(a),
+        Term::App(_, args) => out.extend(args),
+        Term::PApp(..) | Term::BoolVar(_) | Term::Eq(..) | Term::Lt(..) => {
+            let t = tm.mk_true();
+            let f = tm.mk_false();
+            out.push(t);
+            out.push(f);
+        }
+        Term::IntVar(_) => {
+            // Collapse onto the first variable of the formula, if distinct.
+            let first = tm
+                .postorder(root)
+                .into_iter()
+                .find(|&id| matches!(tm.term(id), Term::IntVar(_)));
+            if let Some(first) = first {
+                if first != node {
+                    out.push(first);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shrinks `root` while `still_fails` keeps returning `true`.
+///
+/// `still_fails` is consulted on every candidate, so it should embed the
+/// failure-kind check (a shrink step must not trade one bug for
+/// another). Stops after `max_steps` accepted or rejected candidate
+/// evaluations, whichever comes first — each evaluation re-runs the
+/// whole procedure panel, so the budget bounds total shrink time.
+///
+/// Returns the smallest failing formula found (possibly `root` itself).
+pub fn shrink(
+    tm: &mut TermManager,
+    root: TermId,
+    still_fails: &mut dyn FnMut(&TermManager, TermId) -> bool,
+    max_steps: usize,
+) -> TermId {
+    let mut current = root;
+    let mut best = metric(tm, current);
+    let mut steps = 0usize;
+    loop {
+        let mut improved = false;
+        // Try larger nodes first: dropping a whole conjunct beats
+        // nibbling at its leaves.
+        let mut nodes = tm.postorder(current);
+        nodes.reverse();
+        'outer: for node in nodes {
+            for replacement in candidates(tm, current, node) {
+                if steps >= max_steps {
+                    return current;
+                }
+                let mut map = HashMap::new();
+                map.insert(node, replacement);
+                let candidate = substitute(tm, current, &map);
+                let candidate_metric = metric(tm, candidate);
+                if candidate_metric >= best {
+                    continue;
+                }
+                steps += 1;
+                if still_fails(tm, candidate) {
+                    current = candidate;
+                    best = candidate_metric;
+                    improved = true;
+                    // The node set changed; restart the pass.
+                    continue 'outer;
+                }
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufsat_suf::{parse_problem, print_term};
+
+    #[test]
+    fn atoms_are_counted_once_per_distinct_atom() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(
+            &mut tm,
+            "(vars x y) (preds (q 1)) (formula (and (< x y) (or (q x) (< x y))))",
+        )
+        .expect("parses");
+        // `(< x y)` is interned once; q(x) is the second atom.
+        assert_eq!(count_atoms(&tm, phi), 2);
+    }
+
+    #[test]
+    fn shrink_isolates_the_failing_conjunct() {
+        let mut tm = TermManager::new();
+        // A big conjunction; pretend the "bug" is any formula mentioning q.
+        let phi = parse_problem(
+            &mut tm,
+            "(vars x y z) (funs (f 1)) (preds (q 1)) (formula \
+             (and (and (< x y) (< y z)) (and (q (f x)) (= (f y) z))))",
+        )
+        .expect("parses");
+        let mut fails = |tm: &TermManager, t: TermId| {
+            tm.postorder(t)
+                .into_iter()
+                .any(|id| matches!(tm.term(id), Term::PApp(..)))
+        };
+        assert!(fails(&tm, phi));
+        let shrunk = shrink(&mut tm, phi, &mut fails, 10_000);
+        assert!(fails(&tm, shrunk), "failure preserved");
+        assert!(
+            tm.dag_size(shrunk) < tm.dag_size(phi),
+            "size reduced: {}",
+            print_term(&tm, shrunk)
+        );
+        // Locally minimal here: exactly the q-application over one var.
+        assert_eq!(count_atoms(&tm, shrunk), 1, "{}", print_term(&tm, shrunk));
+    }
+
+    #[test]
+    fn shrink_respects_the_step_budget() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(
+            &mut tm,
+            "(vars x y z) (formula (and (< x y) (and (< y z) (< x z))))",
+        )
+        .expect("parses");
+        let mut always = |_: &TermManager, _: TermId| true;
+        let shrunk = shrink(&mut tm, phi, &mut always, 0);
+        assert_eq!(shrunk, phi, "zero budget leaves the input untouched");
+    }
+}

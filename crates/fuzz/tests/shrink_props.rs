@@ -1,0 +1,65 @@
+//! Shrinker properties over randomly generated formulas: the predicate
+//! (here: the decided verdict) is preserved, and the result never grows.
+
+use sufsat_core::{decide, DecideOptions};
+use sufsat_fuzz::{count_atoms, generate, shrink, GenConfig};
+use sufsat_prng::Prng;
+use sufsat_suf::{TermId, TermManager};
+
+fn verdict(tm: &TermManager, phi: TermId) -> bool {
+    let mut tm = tm.clone();
+    decide(&mut tm, phi, &DecideOptions::default())
+        .outcome
+        .is_valid()
+}
+
+#[test]
+fn shrinking_preserves_the_verdict_and_never_grows() {
+    let cfg = GenConfig::default();
+    for seed in 0..25u64 {
+        let mut tm = TermManager::new();
+        let mut rng = Prng::seed_from_u64(seed);
+        let phi = generate(&mut tm, &mut rng, &cfg);
+        let original_verdict = verdict(&tm, phi);
+        let original_size = tm.dag_size(phi);
+        let original_atoms = count_atoms(&tm, phi);
+
+        let mut keeps_verdict =
+            |tm: &TermManager, t: TermId| verdict(tm, t) == original_verdict;
+        let shrunk = shrink(&mut tm, phi, &mut keeps_verdict, 300);
+
+        assert_eq!(
+            verdict(&tm, shrunk),
+            original_verdict,
+            "seed {seed}: verdict must be preserved"
+        );
+        assert!(
+            tm.dag_size(shrunk) <= original_size,
+            "seed {seed}: size must not grow"
+        );
+        assert!(
+            count_atoms(&tm, shrunk) <= original_atoms,
+            "seed {seed}: atom count must not grow"
+        );
+    }
+}
+
+#[test]
+fn shrinking_a_fixed_verdict_collapses_to_a_constant() {
+    // With a predicate every formula satisfies, greedy shrinking must
+    // reach a minimal formula — a bare constant or single atom.
+    let cfg = GenConfig::default();
+    for seed in 0..10u64 {
+        let mut tm = TermManager::new();
+        let mut rng = Prng::seed_from_u64(seed);
+        let phi = generate(&mut tm, &mut rng, &cfg);
+        let mut anything = |_: &TermManager, _: TermId| true;
+        let shrunk = shrink(&mut tm, phi, &mut anything, 5_000);
+        assert!(
+            tm.dag_size(shrunk) <= 2,
+            "seed {seed}: got size {} ({})",
+            tm.dag_size(shrunk),
+            sufsat_suf::print_term(&tm, shrunk)
+        );
+    }
+}

@@ -118,6 +118,10 @@ pub struct Solver {
     /// Failed-assumption subset from the last assumption-UNSAT answer.
     conflict_assumptions: Vec<Lit>,
     proof: Option<Proof>,
+    /// Verbatim input clauses, recorded while proof logging is enabled so
+    /// UNSAT answers can be replayed through the RUP checker without the
+    /// caller tracking clauses itself.
+    input_clauses: Vec<Vec<Lit>>,
     stats: Stats,
     conflict_budget: Option<u64>,
     timeout: Option<Duration>,
@@ -164,6 +168,7 @@ impl Solver {
             assumptions: Vec::new(),
             conflict_assumptions: Vec::new(),
             proof: None,
+            input_clauses: Vec::new(),
             stats: Stats::default(),
             conflict_budget: None,
             timeout: None,
@@ -214,6 +219,9 @@ impl Solver {
     /// Enables DRAT proof logging. Call before adding clauses; derived
     /// clauses, deletions and the final empty clause are then recorded and
     /// can be retrieved with [`Solver::proof`] after an UNSAT answer.
+    /// Input clauses are recorded verbatim as well, so
+    /// [`Solver::check_proof`] can certify the answer without the caller
+    /// keeping its own copy.
     pub fn enable_proof(&mut self) {
         if self.proof.is_none() {
             self.proof = Some(Proof::new());
@@ -223,6 +231,24 @@ impl Solver {
     /// The recorded DRAT proof, if logging was enabled.
     pub fn proof(&self) -> Option<&Proof> {
         self.proof.as_ref()
+    }
+
+    /// The input clauses recorded verbatim since proof logging was enabled
+    /// (empty if [`Solver::enable_proof`] was never called).
+    pub fn input_clauses(&self) -> &[Vec<Lit>] {
+        &self.input_clauses
+    }
+
+    /// Replays the recorded DRAT proof through the built-in forward RUP
+    /// checker against the recorded input clauses.
+    ///
+    /// Returns `None` when proof logging was never enabled, otherwise
+    /// whether the proof is a valid refutation of the inputs. Only
+    /// meaningful after an `Unsat` answer; intended for certification at
+    /// test and fuzzing scale.
+    pub fn check_proof(&self) -> Option<bool> {
+        let proof = self.proof.as_ref()?;
+        Some(crate::proof::check_refutation(&self.input_clauses, proof))
     }
 
     fn proof_add(&mut self, clause: &[Lit]) {
@@ -291,6 +317,9 @@ impl Solver {
                 "literal {l} refers to an unknown variable; call new_var first"
             );
         }
+        if self.proof.is_some() {
+            self.input_clauses.push(clause.clone());
+        }
         clause.sort_unstable();
         clause.dedup();
         // Drop tautologies and literals false at level 0.
@@ -314,6 +343,12 @@ impl Solver {
         self.stats.original_clauses += 1;
         match clause.len() {
             0 => {
+                if before == 0 {
+                    // The input itself was empty; the simplification branch
+                    // above did not run, so the refutation step is recorded
+                    // here.
+                    self.proof_add(&[]);
+                }
                 self.ok = false;
                 false
             }
@@ -1117,6 +1152,43 @@ mod tests {
         let mut text = Vec::new();
         proof.write_drat(&mut text).unwrap();
         assert!(text.ends_with(b"0\n"));
+    }
+
+    #[test]
+    fn check_proof_certifies_unsat_from_recorded_inputs() {
+        // Same property as `pigeonhole_proof_validates`, but through the
+        // public solve-path capture: no caller-side clause tracking.
+        let mut s = Solver::new();
+        s.enable_proof();
+        let holes = 3;
+        let pigeons = holes + 1;
+        let grid: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| grid[p][h].positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause([grid[p1][h].negative(), grid[p2][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.input_clauses().len(), pigeons + holes * pigeons * (pigeons - 1) / 2);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.check_proof(), Some(true));
+    }
+
+    #[test]
+    fn check_proof_without_logging_is_none() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.positive()]);
+        s.add_clause([v.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.check_proof(), None);
+        assert!(s.input_clauses().is_empty());
     }
 
     #[test]

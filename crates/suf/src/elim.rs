@@ -32,6 +32,16 @@ pub struct ElimResult {
     /// For each fresh integer constant: which function application instance
     /// it names (function symbol, instance index).
     pub fresh_int_origin: HashMap<VarSym, (FunSym, usize)>,
+    /// Per function symbol, every application instance in elimination
+    /// order: the (eliminated, application-free) argument terms and the
+    /// fresh constant term naming the instance. The nested-ITE chains pick
+    /// the *first* instance whose arguments match, so replaying a model
+    /// against the original formula must resolve tables first-wins in this
+    /// order.
+    pub fun_instances: HashMap<FunSym, Vec<(Vec<TermId>, TermId)>>,
+    /// Per predicate symbol, every application instance in elimination
+    /// order (see [`ElimResult::fun_instances`]).
+    pub pred_instances: HashMap<PredSym, Vec<(Vec<TermId>, TermId)>>,
     /// Number of fresh integer constants introduced.
     pub num_fresh_int: usize,
     /// Number of fresh Boolean constants introduced.
@@ -163,6 +173,8 @@ pub fn eliminate(tm: &mut TermManager, root: TermId) -> ElimResult {
         formula: map[&root],
         p_vars,
         fresh_int_origin,
+        fun_instances,
+        pred_instances,
         num_fresh_int,
         num_fresh_bool,
         polarity,

@@ -17,4 +17,8 @@ echo "==> smoke: threshold selection (sequential)"
 echo "==> smoke: portfolio + parallel harness (2 worker threads)"
 ./target/release/paper-eval --timeout 2 --jobs 2 fig-portfolio
 
+echo "==> smoke: differential fuzzing (fixed seed, certified answers)"
+./target/release/sufsat-fuzz --seed 2026 --cases 200 --quiet \
+    --corpus target/fuzz-corpus
+
 echo "==> ci.sh: all checks passed"

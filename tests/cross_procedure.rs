@@ -4,10 +4,12 @@
 //! actually falsify the formula.
 
 use std::collections::HashSet;
+use std::time::Duration;
 use sufsat_prng::Prng;
 use sufsat::baselines::{decide_lazy, decide_svc, LazyOptions, SvcOptions};
 use sufsat::seplog::{brute_force_validity, OracleResult, SepAnalysis};
-use sufsat::{decide, DecideOptions, EncodingMode, Outcome, TermId, TermManager};
+use sufsat::workloads::Benchmark;
+use sufsat::{decide, Certificate, DecideOptions, EncodingMode, Outcome, TermId, TermManager};
 
 fn eager_modes() -> Vec<EncodingMode> {
     vec![
@@ -248,6 +250,62 @@ fn random_recipe(rng: &mut Prng, max_len: usize) -> Vec<(u8, u8, u8)> {
     (0..len)
         .map(|_| (rng.random_u8(), rng.random_u8(), rng.random_u8()))
         .collect()
+}
+
+/// The benchmarks certification runs on: the lightest two by formula
+/// size (always — RUP-replaying a proof is quadratic in the clause
+/// database, so debug-mode replay of bigger benchmarks takes minutes),
+/// or the full 49-benchmark suite when `SUFSAT_CERTIFY_FULL=1`.
+fn certification_suite() -> Vec<Benchmark> {
+    let mut suite = sufsat::workloads::suite();
+    if std::env::var("SUFSAT_CERTIFY_FULL").as_deref() != Ok("1") {
+        suite.sort_by_key(|b| b.tm.dag_size(b.formula));
+        suite.truncate(2);
+    }
+    suite
+}
+
+#[test]
+fn benchmark_answers_carry_checked_certificates() {
+    let mut certified = 0usize;
+    for mut bench in certification_suite() {
+        for mode in eager_modes() {
+            let options = DecideOptions {
+                timeout: Some(Duration::from_millis(1500)),
+                certify: true,
+                ..DecideOptions::with_mode(mode)
+            };
+            let d = decide(&mut bench.tm, bench.formula, &options);
+            match (&d.outcome, &d.certificate) {
+                (Outcome::Unknown(_), _) => {}
+                // Valid ⇒ the encoding of ¬φ is UNSAT ⇒ the logged DRAT
+                // proof must replay through the RUP checker.
+                (Outcome::Valid, Some(cert @ Certificate::Refutation { steps, checked })) => {
+                    assert!(
+                        *checked && cert.holds(),
+                        "{} [{mode:?}]: refutation must check ({steps} steps)",
+                        bench.name
+                    );
+                    certified += 1;
+                }
+                // Invalid ⇒ the decoded model must falsify both the
+                // eliminated and the original formula under replay.
+                (Outcome::Invalid(_), Some(cert @ Certificate::Counterexample { .. })) => {
+                    assert!(cert.holds(), "{} [{mode:?}]: {cert:?}", bench.name);
+                    certified += 1;
+                }
+                (outcome, certificate) => panic!(
+                    "{} [{mode:?}]: definitive answer with wrong certificate: \
+                     {outcome:?} / {certificate:?}",
+                    bench.name
+                ),
+            }
+        }
+    }
+    assert!(
+        certified >= 12,
+        "only {certified} benchmark answers were certified"
+    );
 }
 
 #[test]

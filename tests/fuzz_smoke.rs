@@ -1,0 +1,34 @@
+//! Fixed-seed differential fuzzing smoke test: a small campaign over the
+//! full procedure panel must come back clean, with every definitive
+//! eager/portfolio answer carrying a checked certificate. The CI script
+//! runs a larger campaign through the `sufsat-fuzz` binary; this keeps a
+//! floor of coverage inside `cargo test` itself.
+
+use sufsat_fuzz::{run_campaign, CampaignConfig, OracleOptions};
+
+#[test]
+fn fixed_seed_campaign_is_clean() {
+    let config = CampaignConfig {
+        seed: 0x5eed_2026,
+        cases: 20,
+        metamorphic: true,
+        oracle: OracleOptions {
+            // Lazy/SVC baselines and the portfolio run in the CI campaign
+            // and the fuzz crate's own tests; the smoke test keeps to the
+            // certified eager lanes to stay fast in debug builds.
+            include_baselines: false,
+            include_portfolio: false,
+            ..OracleOptions::default()
+        },
+        ..CampaignConfig::default()
+    };
+    let summary = run_campaign(&config);
+    assert!(summary.clean(), "failures: {:#?}", summary.failures);
+    assert_eq!(summary.cases_run, 20);
+    assert!(summary.definitive_cases >= 15, "{summary:?}");
+    assert!(summary.meta_checks >= 30, "{summary:?}");
+    assert_eq!(
+        summary.certified_answers, summary.definitive_answers,
+        "every definitive answer must be certified: {summary:?}"
+    );
+}

@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use sufsat::workloads::suite;
-use sufsat::{decide, decide_portfolio, DecideOptions, Outcome, PortfolioOptions};
+use sufsat::{decide, decide_portfolio, Certificate, DecideOptions, Outcome, PortfolioOptions};
 
 #[test]
 fn portfolio_agrees_with_hybrid_on_the_whole_suite() {
@@ -61,4 +61,45 @@ fn portfolio_agrees_with_hybrid_on_the_whole_suite() {
         answered >= 20,
         "only {answered} of 49 benchmarks answered in both procedures"
     );
+}
+
+/// Certified portfolio runs: whichever lane wins the race, its answer
+/// must come with machine-checked evidence — a RUP-replayed refutation
+/// for valid formulas, a model replay against the original formula for
+/// invalid ones. Runs on the six lightest benchmarks by default (proof
+/// replay is expensive in debug builds); set `SUFSAT_CERTIFY_FULL=1` to
+/// certify the whole 49-benchmark suite.
+#[test]
+fn portfolio_answers_carry_checked_certificates() {
+    let mut benches = suite();
+    if std::env::var("SUFSAT_CERTIFY_FULL").as_deref() != Ok("1") {
+        benches.sort_by_key(|b| b.tm.dag_size(b.formula));
+        benches.truncate(6);
+    }
+    let mut certified = 0usize;
+    for mut bench in benches {
+        let mut options = PortfolioOptions::default();
+        options.base.timeout = Some(Duration::from_millis(1500));
+        options.base.certify = true;
+        let p = decide_portfolio(&mut bench.tm, bench.formula, &options);
+        match (&p.outcome, &p.certificate) {
+            (Outcome::Unknown(_), _) => {}
+            (Outcome::Valid, Some(cert @ Certificate::Refutation { .. }))
+            | (Outcome::Invalid(_), Some(cert @ Certificate::Counterexample { .. })) => {
+                assert!(
+                    cert.holds(),
+                    "{} ({:?} won): {cert:?}",
+                    bench.name,
+                    p.winner_mode()
+                );
+                certified += 1;
+            }
+            (outcome, certificate) => panic!(
+                "{}: definitive portfolio answer with wrong certificate: \
+                 {outcome:?} / {certificate:?}",
+                bench.name
+            ),
+        }
+    }
+    assert!(certified >= 5, "only {certified} portfolio answers certified");
 }
