@@ -83,6 +83,7 @@ pub fn decide_lazy(
     phi: TermId,
     options: &LazyOptions,
 ) -> (Outcome, LazyStats) {
+    let _span = sufsat_obs::span_with!("baselines.lazy", dag = tm.dag_size(phi));
     let start = Instant::now();
     let mut stats = LazyStats::default();
 

@@ -74,6 +74,7 @@ pub struct SvcStats {
 ///
 /// Panics if a counterexample fails verification (internal soundness bug).
 pub fn decide_svc(tm: &mut TermManager, phi: TermId, options: &SvcOptions) -> (Outcome, SvcStats) {
+    let _span = sufsat_obs::span_with!("baselines.svc", dag = tm.dag_size(phi));
     let start = Instant::now();
     let mut stats = SvcStats::default();
 

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! paper-eval [--timeout SECS] [--septhold N] [--csv DIR] [--jobs N]
+//!            [--trace FILE|stderr]
 //!            [fig2|fig3|fig4|fig5|fig6|fig-portfolio|threshold|all|dump DIR]
+//! paper-eval report <TRACE> [--stages FILE]
+//! paper-eval check-trace <TRACE>
 //! ```
 //!
 //! `--csv DIR` additionally writes machine-readable result tables
@@ -11,6 +14,15 @@
 //! tables are identical to `--jobs 1` runs up to timing noise, because the
 //! harness reassembles them in input order. Use `--jobs 1` (the default)
 //! when wall-clock numbers must not contend for cores.
+//!
+//! `--trace` (or `SUFSAT_TRACE=<path|stderr>`) records the whole run as a
+//! structured JSON-lines trace. `report` rebuilds the Figure-2-style
+//! benchmark × method table from such a trace — the counts come from the
+//! live `DecideStats`, so the reconstruction matches the run exactly —
+//! and `--stages` additionally writes the aggregated per-stage timing
+//! document (`BENCH_stages.json`, schema `sufsat-stages-v1`).
+//! `check-trace` validates the wire schema and span nesting, exiting
+//! non-zero on any drift.
 //!
 //! * `threshold` — §4.1: EIJ runtimes on the 16-benchmark training sample,
 //!   variance-minimizing split, automatic `SEP_THOLD` (paper value: 700).
@@ -73,6 +85,8 @@ fn main() {
     };
     let mut command = "all".to_owned();
     let mut args_rest: Option<String> = None;
+    let mut stages_path: Option<String> = None;
+    let mut trace_target: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--timeout" => {
@@ -92,6 +106,14 @@ fn main() {
                 let v = args.next().expect("--jobs needs a value");
                 config.jobs = v.parse().expect("--jobs must be an integer");
             }
+            "--trace" => {
+                let v = args.next().expect("--trace needs a path or `stderr`");
+                trace_target = Some(v);
+            }
+            "--stages" => {
+                let v = args.next().expect("--stages needs a path");
+                stages_path = Some(v);
+            }
             other => {
                 if command != "all" && args_rest.is_none() {
                     args_rest = Some(other.to_owned());
@@ -99,6 +121,33 @@ fn main() {
                     command = other.to_owned();
                 }
             }
+        }
+    }
+
+    // Offline trace analysis needs no benchmark run (and no tracing).
+    match command.as_str() {
+        "report" => {
+            let path = args_rest.expect("report needs a trace file");
+            report_command(&path, stages_path.as_deref());
+            return;
+        }
+        "check-trace" => {
+            let path = args_rest.expect("check-trace needs a trace file");
+            check_trace_command(&path);
+            return;
+        }
+        _ => {}
+    }
+
+    match trace_target.as_deref() {
+        Some(target) => {
+            if let Err(e) = sufsat_obs::init_to(target) {
+                eprintln!("paper-eval: cannot open trace target {target}: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => {
+            sufsat_obs::init_from_env();
         }
     }
 
@@ -134,6 +183,79 @@ fn main() {
         other => {
             eprintln!("unknown command `{other}`");
             std::process::exit(2);
+        }
+    }
+
+    sufsat_obs::emit_counter_records();
+    sufsat_obs::shutdown();
+}
+
+/// `report <TRACE> [--stages FILE]`: rebuilds the Figure-2-style table
+/// from a recorded trace, optionally writing the aggregated stage timing
+/// document.
+fn report_command(path: &str, stages_path: Option<&str>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("paper-eval: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rows = match sufsat_bench::trace::report_rows(&text) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("paper-eval: malformed trace {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if rows.is_empty() {
+        println!("no bench.result events in {path} (was the run traced?)");
+    } else {
+        print!("{}", sufsat_bench::trace::render_report(&rows));
+    }
+    if let Some(stages) = stages_path {
+        match sufsat_bench::trace::stage_summary(&text) {
+            Ok(doc) => {
+                if let Err(e) = std::fs::write(stages, doc) {
+                    eprintln!("paper-eval: cannot write {stages}: {e}");
+                    std::process::exit(2);
+                }
+                println!("wrote stage aggregation to {stages}");
+            }
+            Err(e) => {
+                eprintln!("paper-eval: malformed trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `check-trace <TRACE>`: validates the JSON-lines schema and span
+/// nesting; exits 1 on any violation.
+fn check_trace_command(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("paper-eval: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match sufsat_bench::trace::check_trace(&text) {
+        Ok(check) => {
+            println!(
+                "{path}: ok — {} records ({} spans, {} events, {} counters)",
+                check.records, check.spans, check.events, check.counters
+            );
+        }
+        Err(errors) => {
+            eprintln!("{path}: {} schema violation(s)", errors.len());
+            for e in errors.iter().take(20) {
+                eprintln!("  {e}");
+            }
+            if errors.len() > 20 {
+                eprintln!("  … and {} more", errors.len() - 20);
+            }
+            std::process::exit(1);
         }
     }
 }

@@ -1,0 +1,107 @@
+//! End-to-end trace round-trip: run real benchmarks with the in-memory
+//! ring sink installed, then validate the recorded trace and rebuild the
+//! Figure-2-style table from it.
+//!
+//! The acceptance bar is exactness: the reconstructed CNF-clause and
+//! conflict-clause counts must equal the live `DecideStats`-derived
+//! values, not approximate them.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sufsat_bench::trace::{check_trace, render_report, report_rows, stage_summary};
+use sufsat_bench::{run, Method};
+use sufsat_obs::json::{parse, Json};
+use sufsat_obs::RingSink;
+
+/// One test function: the obs layer is process-global, so the record,
+/// validate and report phases must run sequentially in one place.
+#[test]
+fn recorded_trace_validates_and_reproduces_the_figure_table() {
+    let ring = Arc::new(RingSink::new(1 << 20));
+    sufsat_obs::install(ring.clone());
+
+    let timeout = Duration::from_secs(30);
+    let methods = [Method::Sd, Method::Eij, Method::Hybrid(700)];
+    let mut live = Vec::new();
+    for method in methods {
+        let mut bench = sufsat_workloads::pipeline(2, 2, 1);
+        live.push(run(&mut bench, method, timeout));
+    }
+    sufsat_obs::emit_counter_records();
+    sufsat_obs::shutdown();
+
+    let text: String = ring
+        .lines()
+        .into_iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(!text.is_empty(), "trace recorded nothing");
+
+    // Schema validation accepts the real trace.
+    let check = check_trace(&text).unwrap_or_else(|errs| {
+        panic!("schema violations in live trace: {errs:#?}");
+    });
+    assert!(check.spans >= methods.len(), "one bench.run span per run");
+    assert!(check.events >= methods.len(), "one bench.result per run");
+    assert!(check.counters > 0, "final counter records present");
+
+    // Every span name instrumented along the eager pipeline shows up.
+    let seen: Vec<String> = text
+        .lines()
+        .filter_map(|l| parse(l).ok())
+        .filter(|j| j.get("kind").and_then(Json::as_str) == Some("span_open"))
+        .filter_map(|j| j.get("name").and_then(Json::as_str).map(str::to_owned))
+        .collect();
+    for name in [
+        "bench.run",
+        "core.decide",
+        "suf.eliminate",
+        "seplog.analyze",
+        "encode",
+        "core.load_cnf",
+        "sat.solve",
+    ] {
+        assert!(seen.iter().any(|s| s == name), "missing span `{name}`");
+    }
+
+    // The reconstructed table matches the live DecideStats values
+    // field-for-field.
+    let rows = report_rows(&text).expect("report parses");
+    assert_eq!(rows.len(), live.len());
+    for r in &live {
+        let row = rows
+            .iter()
+            .find(|row| row.bench == r.name && row.method == r.method.label())
+            .unwrap_or_else(|| panic!("no row for {} / {}", r.name, r.method.label()));
+        assert_eq!(row.cnf_clauses, r.cnf_clauses, "{}", row.method);
+        assert_eq!(row.conflict_clauses, r.conflict_clauses, "{}", row.method);
+        assert_eq!(row.encode_us, r.translate_time.as_micros() as u64);
+        assert_eq!(row.sat_us, r.sat_time.as_micros() as u64);
+        assert_eq!(row.verdict, "valid");
+    }
+    let rendered = render_report(&rows);
+    for method in methods {
+        assert!(rendered.contains(&method.label()), "{rendered}");
+    }
+
+    // Stage aggregation covers the pipeline spans and the SAT counters.
+    let summary = stage_summary(&text).expect("aggregates");
+    let json = parse(&summary).expect("stage summary is valid JSON");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("sufsat-stages-v1")
+    );
+    let spans = json.get("spans").expect("spans object");
+    for name in ["bench.run", "core.decide", "encode", "sat.solve"] {
+        let agg = spans
+            .get(name)
+            .unwrap_or_else(|| panic!("span `{name}` missing from aggregation"));
+        assert!(agg.get("count").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    }
+    let counters = json.get("counters").expect("counters object");
+    assert!(
+        counters.get("core.decides").and_then(Json::as_u64) == Some(live.len() as u64),
+        "core.decides counter should equal the number of decide() calls"
+    );
+}

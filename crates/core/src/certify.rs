@@ -120,8 +120,17 @@ pub fn counterexample_falsifies_original(
     elim: &ElimResult,
     cex: &SepAssignment,
 ) -> bool {
+    let span = sufsat_obs::span_with!(
+        "certify.replay_original",
+        ints = cex.ints.len(),
+        bools = cex.bools.len()
+    );
     let interp = counterexample_interpretation(tm, elim, cex);
-    eval(tm, phi, &interp) == Value::Bool(false)
+    let falsified = eval(tm, phi, &interp) == Value::Bool(false);
+    if span.is_recording() {
+        sufsat_obs::event!("certify.replay_original.result", falsified = falsified);
+    }
+    falsified
 }
 
 /// Whether model-replay certification was requested through the

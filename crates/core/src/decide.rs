@@ -166,6 +166,65 @@ impl DecideStats {
         self.translate_time + self.sat_time
     }
 
+    /// Hand-rolled JSON serialization with a stable key set and order,
+    /// consistent with the field names the `sufsat-obs` sink emits
+    /// (durations as integral microseconds under `_us` keys).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"dag_size\":{},\"translate_us\":{},\"sat_us\":{},\"cnf_clauses\":{},\
+             \"conflict_clauses\":{},\"decisions\":{},\"propagations\":{},\
+             \"sep_predicates\":{},\"classes\":{},\"sd_classes\":{},\"eij_classes\":{},\
+             \"pred_vars\":{},\"trans_clauses\":{},\"max_class_range\":{},\
+             \"total_class_range\":{},\"p_fun_fraction\":{},\"fresh_constants\":{}}}",
+            self.dag_size,
+            self.translate_time.as_micros(),
+            self.sat_time.as_micros(),
+            self.cnf_clauses,
+            self.conflict_clauses,
+            self.decisions,
+            self.propagations,
+            self.sep_predicates,
+            self.classes,
+            self.sd_classes,
+            self.eij_classes,
+            self.pred_vars,
+            self.trans_clauses,
+            self.max_class_range,
+            self.total_class_range,
+            if self.p_fun_fraction.is_finite() {
+                self.p_fun_fraction.to_string()
+            } else {
+                "null".to_owned()
+            },
+            self.fresh_constants,
+        )
+    }
+
+    /// Folds another run's measurements into this one: additive counters
+    /// and times are summed, structural quantities (DAG size, ranges,
+    /// class counts, p-fraction) are kept at their maximum. Used to
+    /// aggregate the total cost of a portfolio race across winner and
+    /// cancelled loser lanes.
+    pub fn absorb(&mut self, other: &DecideStats) {
+        self.translate_time += other.translate_time;
+        self.sat_time += other.sat_time;
+        self.cnf_clauses += other.cnf_clauses;
+        self.conflict_clauses += other.conflict_clauses;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.sd_classes += other.sd_classes;
+        self.eij_classes += other.eij_classes;
+        self.pred_vars += other.pred_vars;
+        self.trans_clauses += other.trans_clauses;
+        self.fresh_constants = self.fresh_constants.max(other.fresh_constants);
+        self.dag_size = self.dag_size.max(other.dag_size);
+        self.sep_predicates = self.sep_predicates.max(other.sep_predicates);
+        self.classes = self.classes.max(other.classes);
+        self.max_class_range = self.max_class_range.max(other.max_class_range);
+        self.total_class_range = self.total_class_range.max(other.total_class_range);
+        self.p_fun_fraction = self.p_fun_fraction.max(other.p_fun_fraction);
+    }
+
     /// Total time normalized by formula size, in seconds per thousand DAG
     /// nodes — the y-axis of the paper's Figure 3.
     pub fn normalized_time(&self) -> f64 {
@@ -214,9 +273,110 @@ pub struct Decision {
 ///
 /// Panics if a counterexample fails verification (an internal soundness
 /// bug, exercised heavily by the test suite).
+/// Short wire label for an encoding mode (`hybrid` thresholds travel in a
+/// separate field).
+pub(crate) fn mode_label(mode: EncodingMode) -> &'static str {
+    match mode {
+        EncodingMode::Sd => "sd",
+        EncodingMode::Eij => "eij",
+        EncodingMode::Hybrid(_) => "hybrid",
+        EncodingMode::FixedHybrid => "fixed-hybrid",
+    }
+}
+
+/// Short wire label for an outcome.
+pub(crate) fn outcome_label(outcome: &Outcome) -> &'static str {
+    match outcome {
+        Outcome::Valid => "valid",
+        Outcome::Invalid(_) => "invalid",
+        Outcome::Unknown(StopReason::TranslationBudget) => "unknown:translation_budget",
+        Outcome::Unknown(StopReason::ConflictBudget) => "unknown:conflict_budget",
+        Outcome::Unknown(StopReason::Timeout) => "unknown:timeout",
+        Outcome::Unknown(StopReason::Cancelled) => "unknown:cancelled",
+    }
+}
+
+fn trace_decision(outcome: &Outcome, stats: &DecideStats) {
+    if !sufsat_obs::enabled() {
+        return;
+    }
+    static DECIDES: sufsat_obs::Counter = sufsat_obs::Counter::new("core.decides");
+    DECIDES.incr();
+    sufsat_obs::event!(
+        "core.decide.result",
+        outcome = outcome_label(outcome),
+        dag_size = stats.dag_size,
+        translate_us = stats.translate_time.as_micros() as u64,
+        sat_us = stats.sat_time.as_micros() as u64,
+        cnf_clauses = stats.cnf_clauses,
+        conflict_clauses = stats.conflict_clauses,
+        decisions = stats.decisions,
+        propagations = stats.propagations,
+        sep_predicates = stats.sep_predicates,
+        classes = stats.classes,
+        sd_classes = stats.sd_classes,
+        eij_classes = stats.eij_classes,
+        pred_vars = stats.pred_vars,
+        trans_clauses = stats.trans_clauses,
+        fresh_constants = stats.fresh_constants,
+    );
+}
+
+/// Decides validity of the SUF formula `phi`.
+///
+/// Counterexamples are verified against the reference evaluator before
+/// being returned.
+///
+/// # Examples
+///
+/// ```
+/// use sufsat_core::{decide, DecideOptions};
+/// use sufsat_suf::TermManager;
+///
+/// let mut tm = TermManager::new();
+/// let f = tm.declare_fun("f", 1);
+/// let x = tm.int_var("x");
+/// let y = tm.int_var("y");
+/// let fx = tm.mk_app(f, vec![x]);
+/// let fy = tm.mk_app(f, vec![y]);
+/// let hyp = tm.mk_eq(x, y);
+/// let conc = tm.mk_eq(fx, fy);
+/// let phi = tm.mk_implies(hyp, conc);
+/// let decision = decide(&mut tm, phi, &DecideOptions::default());
+/// assert!(decision.outcome.is_valid());
+/// ```
+///
+/// # Panics
+///
+/// Panics if a counterexample fails verification (an internal soundness
+/// bug, exercised heavily by the test suite).
 pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Decision {
     let translate_start = Instant::now();
     let dag_size = tm.dag_size(phi);
+    let obs_span = sufsat_obs::span_with!(
+        "core.decide",
+        mode = mode_label(options.mode),
+        threshold = match options.mode {
+            EncodingMode::Hybrid(t) => t as i64,
+            _ => -1,
+        },
+        dag = dag_size,
+        certify = options.certify,
+    );
+    let decision = decide_inner(tm, phi, options, translate_start, dag_size);
+    if obs_span.is_recording() {
+        trace_decision(&decision.outcome, &decision.stats);
+    }
+    decision
+}
+
+fn decide_inner(
+    tm: &mut TermManager,
+    phi: TermId,
+    options: &DecideOptions,
+    translate_start: Instant,
+    dag_size: usize,
+) -> Decision {
 
     // Step 1: eliminate applications (positive-equality aware).
     let elim = eliminate(tm, phi);
@@ -282,6 +442,7 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
     if options.certify {
         solver.enable_proof();
     }
+    let load_span = sufsat_obs::span_with!("core.load_cnf", gates = encoded.stats.gates);
     let map = load_into_solver(
         &encoded.circuit,
         &[!encoded.formula],
@@ -289,6 +450,7 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
         options.cnf,
         &mut solver,
     );
+    drop(load_span);
     stats.cnf_clauses = solver.stats().original_clauses;
     stats.translate_time = translate_start.elapsed();
 
@@ -607,5 +769,92 @@ mod tests {
         // Conjunction of x<y, y<z, x<z is satisfiable, so ¬(...) invalid.
         assert!(matches!(d_sd.outcome, Outcome::Invalid(_)));
         assert!(matches!(d_eij.outcome, Outcome::Invalid(_)));
+    }
+
+    #[test]
+    fn stats_to_json_parses_and_round_trips_counters() {
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let sx = tm.mk_succ(x);
+        let phi = tm.mk_lt(x, sx); // valid
+        let d = decide(&mut tm, phi, &DecideOptions::default());
+        let json = sufsat_obs::json::parse(&d.stats.to_json()).expect("to_json is valid JSON");
+        assert_eq!(
+            json.get("dag_size").and_then(|v| v.as_u64()),
+            Some(d.stats.dag_size as u64)
+        );
+        assert_eq!(
+            json.get("cnf_clauses").and_then(|v| v.as_u64()),
+            Some(d.stats.cnf_clauses as u64)
+        );
+        assert_eq!(
+            json.get("conflict_clauses").and_then(|v| v.as_u64()),
+            Some(d.stats.conflict_clauses as u64)
+        );
+        assert_eq!(
+            json.get("translate_us").and_then(|v| v.as_u64()),
+            Some(d.stats.translate_time.as_micros() as u64)
+        );
+        // Every documented key is present.
+        for key in [
+            "dag_size",
+            "translate_us",
+            "sat_us",
+            "cnf_clauses",
+            "conflict_clauses",
+            "decisions",
+            "propagations",
+            "sep_predicates",
+            "classes",
+            "sd_classes",
+            "eij_classes",
+            "pred_vars",
+            "trans_clauses",
+            "max_class_range",
+            "total_class_range",
+            "p_fun_fraction",
+            "fresh_constants",
+        ] {
+            assert!(json.get(key).is_some(), "missing key {key}");
+        }
+    }
+
+    #[test]
+    fn stats_to_json_null_for_non_finite_fraction() {
+        let mut stats = DecideStats::default();
+        stats.p_fun_fraction = f64::NAN;
+        let json = sufsat_obs::json::parse(&stats.to_json()).expect("valid JSON");
+        assert!(matches!(
+            json.get("p_fun_fraction"),
+            Some(sufsat_obs::json::Json::Null)
+        ));
+    }
+
+    #[test]
+    fn absorb_sums_additive_and_maxes_structural() {
+        let mut a = DecideStats::default();
+        a.cnf_clauses = 10;
+        a.conflict_clauses = 3;
+        a.decisions = 7;
+        a.dag_size = 40;
+        a.classes = 2;
+        a.max_class_range = 5;
+        a.translate_time = Duration::from_micros(100);
+        let mut b = DecideStats::default();
+        b.cnf_clauses = 5;
+        b.conflict_clauses = 4;
+        b.decisions = 1;
+        b.dag_size = 60;
+        b.classes = 1;
+        b.max_class_range = 9;
+        b.translate_time = Duration::from_micros(50);
+        a.absorb(&b);
+        assert_eq!(a.cnf_clauses, 15);
+        assert_eq!(a.conflict_clauses, 7);
+        assert_eq!(a.decisions, 8);
+        assert_eq!(a.translate_time, Duration::from_micros(150));
+        assert_eq!(a.dag_size, 60);
+        assert_eq!(a.classes, 2);
+        assert_eq!(a.max_class_range, 9);
     }
 }

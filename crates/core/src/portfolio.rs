@@ -21,7 +21,10 @@ use sufsat_sat::CancelToken;
 use sufsat_suf::{TermId, TermManager};
 
 use crate::certify::Certificate;
-use crate::decide::{decide, DecideOptions, DecideStats, Decision, Outcome, DEFAULT_SEP_THOLD};
+use crate::decide::{
+    decide, mode_label, outcome_label, DecideOptions, DecideStats, Decision, Outcome,
+    DEFAULT_SEP_THOLD,
+};
 use crate::EncodingMode;
 
 /// Options controlling [`decide_portfolio`].
@@ -77,6 +80,11 @@ pub struct LaneReport {
     pub wall_time: Duration,
     /// Whether this lane's answer was adopted as the portfolio's answer.
     pub won: bool,
+    /// How long after the race-ending cancellation this lane took to
+    /// return. `None` for the winner and for lanes that finished before
+    /// any cancellation was issued; losing lanes that observed the token
+    /// cooperatively report their observed retirement latency here.
+    pub cancel_latency: Option<Duration>,
 }
 
 /// The result of a portfolio race: the adopted outcome plus per-lane
@@ -91,6 +99,12 @@ pub struct PortfolioDecision {
     pub winner: Option<usize>,
     /// The winning lane's measurements (the first lane's if nobody won).
     pub stats: DecideStats,
+    /// The whole race's measurements: every lane's stats folded together
+    /// with [`DecideStats::absorb`], so the work burnt by cancelled losers
+    /// is accounted for rather than dropped. Additive counters (times,
+    /// clauses, conflicts, …) sum across lanes; structural quantities
+    /// (DAG size, classes, …) take the maximum.
+    pub aggregate_stats: DecideStats,
     /// Per-lane telemetry, in the order of [`PortfolioOptions::lanes`].
     pub lanes: Vec<LaneReport>,
     /// Wall-clock time of the whole race.
@@ -149,10 +163,11 @@ pub fn decide_portfolio(
         !options.lanes.is_empty(),
         "portfolio needs at least one lane"
     );
+    let race_span = sufsat_obs::span_with!("core.portfolio", lanes = options.lanes.len());
     let start = Instant::now();
     let tokens: Vec<CancelToken> = options.lanes.iter().map(|_| CancelToken::new()).collect();
 
-    let (mut slots, winner) = {
+    let (mut slots, winner, latencies) = {
         let tm_ref: &TermManager = tm;
         thread::scope(|scope| {
             let (tx, rx) = mpsc::channel();
@@ -161,24 +176,59 @@ pub fn decide_portfolio(
                 let token = token.clone();
                 let base = &options.base;
                 scope.spawn(move || {
+                    // Lane threads have their own span stacks, so the lane
+                    // span is a root; the `lane` field ties it back to the
+                    // `core.portfolio` span in the trace.
+                    let lane_span =
+                        sufsat_obs::span_with!("portfolio.lane", lane = i, mode = mode_label(mode));
                     let mut lane_tm = tm_ref.clone();
                     let mut lane_options = base.clone();
                     lane_options.mode = mode;
                     lane_options.cancel = Some(token);
                     let lane_start = Instant::now();
                     let decision = decide(&mut lane_tm, phi, &lane_options);
+                    let wall = lane_start.elapsed();
+                    if lane_span.is_recording() {
+                        sufsat_obs::event!(
+                            "portfolio.lane.done",
+                            lane = i,
+                            mode = mode_label(mode),
+                            outcome = outcome_label(&decision.outcome),
+                            wall_us = wall.as_micros() as u64,
+                            sat_us = decision.stats.sat_time.as_micros() as u64,
+                            conflict_clauses = decision.stats.conflict_clauses
+                        );
+                    }
+                    drop(lane_span);
                     // The receiver hanging up (it never does) is not an
                     // error worth unwinding over.
-                    let _ = tx.send((i, decision, lane_tm, lane_start.elapsed()));
+                    let _ = tx.send((i, decision, lane_tm, wall));
                 });
             }
             drop(tx);
 
             let mut slots: Vec<Option<(Decision, TermManager, Duration)>> =
                 options.lanes.iter().map(|_| None).collect();
+            let mut latencies: Vec<Option<Duration>> =
+                options.lanes.iter().map(|_| None).collect();
             let mut winner: Option<usize> = None;
+            let mut cancel_at: Option<Instant> = None;
             for (i, decision, lane_tm, wall) in rx {
                 let definitive = !matches!(decision.outcome, Outcome::Unknown(_));
+                if let Some(at) = cancel_at {
+                    // Retirement latency of a loser: from the moment the
+                    // winner's cancellation was broadcast to this lane
+                    // reporting back.
+                    let latency = at.elapsed();
+                    latencies[i] = Some(latency);
+                    if race_span.is_recording() {
+                        sufsat_obs::event!(
+                            "portfolio.cancel_latency",
+                            lane = i,
+                            latency_us = latency.as_micros() as u64
+                        );
+                    }
+                }
                 slots[i] = Some((decision, lane_tm, wall));
                 if definitive && winner.is_none() {
                     winner = Some(i);
@@ -187,21 +237,25 @@ pub fn decide_portfolio(
                             other.cancel();
                         }
                     }
+                    cancel_at = Some(Instant::now());
                 }
             }
-            (slots, winner)
+            (slots, winner, latencies)
         })
     };
 
     let mut lanes: Vec<LaneReport> = Vec::with_capacity(options.lanes.len());
+    let mut aggregate_stats = DecideStats::default();
     for (i, slot) in slots.iter().enumerate() {
         let (decision, _, wall) = slot.as_ref().expect("every lane reports");
+        aggregate_stats.absorb(&decision.stats);
         lanes.push(LaneReport {
             mode: options.lanes[i],
             outcome: decision.outcome.clone(),
             stats: decision.stats.clone(),
             wall_time: *wall,
             won: winner == Some(i),
+            cancel_latency: latencies[i],
         });
     }
 
@@ -211,10 +265,20 @@ pub fn decide_portfolio(
         // Adopt the winner's manager so counterexample symbols resolve.
         *tm = lane_tm;
     }
+    if race_span.is_recording() {
+        sufsat_obs::event!(
+            "portfolio.winner",
+            winner = winner.map_or(-1, |i| i as i64),
+            mode = winner.map_or("none", |i| mode_label(options.lanes[i])),
+            outcome = outcome_label(&decision.outcome),
+            wall_us = start.elapsed().as_micros() as u64
+        );
+    }
     PortfolioDecision {
         outcome: decision.outcome,
         winner,
         stats: decision.stats,
+        aggregate_stats,
         lanes,
         wall_time: start.elapsed(),
         certificate: decision.certificate,
@@ -238,6 +302,8 @@ pub fn decide_many(
     jobs: usize,
 ) -> Vec<PortfolioDecision> {
     let workers = jobs.max(1).min(formulas.len().max(1));
+    let batch_span =
+        sufsat_obs::span_with!("core.decide_many", items = formulas.len(), workers = workers);
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<PortfolioDecision>> = formulas.iter().map(|_| None).collect();
     thread::scope(|scope| {
@@ -260,6 +326,17 @@ pub fn decide_many(
             results[i] = Some(decision);
         }
     });
+    if batch_span.is_recording() {
+        let decided = results
+            .iter()
+            .filter(|r| {
+                r.as_ref()
+                    .is_some_and(|d| !matches!(d.outcome, Outcome::Unknown(_)))
+            })
+            .count();
+        sufsat_obs::event!("decide_many.done", items = formulas.len(), decided = decided);
+    }
+    drop(batch_span);
     results
         .into_iter()
         .map(|r| r.expect("every item decided"))
@@ -391,6 +468,26 @@ mod tests {
                 ));
             }
         }
+    }
+
+    #[test]
+    fn aggregate_stats_fold_every_lane() {
+        let mut tm = TermManager::new();
+        let phi = paper_example(&mut tm);
+        let d = decide_portfolio(&mut tm, phi, &PortfolioOptions::default());
+        // Additive counters sum across all lanes (loser work is not
+        // dropped), so the aggregate covers each individual lane...
+        let lane_clauses: u64 = d.lanes.iter().map(|l| l.stats.cnf_clauses).sum();
+        assert_eq!(d.aggregate_stats.cnf_clauses, lane_clauses);
+        let lane_conflicts: u64 = d.lanes.iter().map(|l| l.stats.conflict_clauses).sum();
+        assert_eq!(d.aggregate_stats.conflict_clauses, lane_conflicts);
+        // ...and at least the adopted stats.
+        assert!(d.aggregate_stats.cnf_clauses >= d.stats.cnf_clauses);
+        assert!(d.aggregate_stats.sat_time >= d.stats.sat_time);
+        assert_eq!(d.aggregate_stats.dag_size, d.stats.dag_size);
+        // The winner finished before any cancellation was issued.
+        let winner = d.winner.expect("someone wins");
+        assert_eq!(d.lanes[winner].cancel_latency, None);
     }
 
     #[test]

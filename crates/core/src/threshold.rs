@@ -43,7 +43,16 @@ pub struct ThresholdSample {
 /// assert_eq!(threshold, 700);
 /// ```
 pub fn select_threshold(samples: &[ThresholdSample]) -> usize {
+    let span = sufsat_obs::span_with!("core.select_threshold", samples = samples.len());
     if samples.len() < 2 {
+        if span.is_recording() {
+            sufsat_obs::event!(
+                "threshold.selected",
+                threshold = crate::DEFAULT_SEP_THOLD,
+                split = 0usize,
+                reason = "too_few_samples"
+            );
+        }
         return crate::DEFAULT_SEP_THOLD;
     }
     let mut sorted: Vec<ThresholdSample> = samples.to_vec();
@@ -67,7 +76,26 @@ pub fn select_threshold(samples: &[ThresholdSample]) -> usize {
     // n_k: the predicate count at runtime T_k (the last "cheap" sample).
     let n_k = sorted[best_k - 1].sep_predicates;
     // Smallest multiple of 100 strictly greater than n_k.
-    (n_k / 100 + 1) * 100
+    let threshold = (n_k / 100 + 1) * 100;
+    if span.is_recording() {
+        for (i, sample) in sorted.iter().enumerate() {
+            sufsat_obs::event!(
+                "threshold.sample",
+                rank = i,
+                normalized_time = sample.normalized_time,
+                sep_predicates = sample.sep_predicates,
+                cheap = i < best_k
+            );
+        }
+        sufsat_obs::event!(
+            "threshold.selected",
+            threshold = threshold,
+            split = best_k,
+            n_k = n_k,
+            reason = "variance_split"
+        );
+    }
+    threshold
 }
 
 fn variance(xs: &[f64]) -> f64 {

@@ -153,6 +153,16 @@ pub fn encode(
     analysis: &SepAnalysis,
     options: &EncodeOptions,
 ) -> Result<Encoded, TransBudgetExceeded> {
+    let obs_span = sufsat_obs::span_with!(
+        "encode",
+        mode = match options.mode {
+            EncodingMode::Sd => "sd",
+            EncodingMode::Eij => "eij",
+            EncodingMode::Hybrid(_) => "hybrid",
+            EncodingMode::FixedHybrid => "fixed-hybrid",
+        },
+        classes = analysis.classes.len(),
+    );
     let methods: Vec<ClassMethod> = analysis
         .classes
         .iter()
@@ -205,6 +215,38 @@ pub fn encode(
             }
         })
         .collect();
+
+    if obs_span.is_recording() {
+        // One record per class: the method decision (for HYBRID, the
+        // threshold it was judged against) and the SD bit-widths that size
+        // the small-model domain.
+        let threshold = match options.mode {
+            EncodingMode::Hybrid(t) => t as i64,
+            _ => -1,
+        };
+        for (i, ((class, method), params)) in analysis
+            .classes
+            .iter()
+            .zip(&methods)
+            .zip(&class_params)
+            .enumerate()
+        {
+            sufsat_obs::event!(
+                "encode.class",
+                class = i,
+                method = match method {
+                    ClassMethod::Sd => "sd",
+                    ClassMethod::Eij => "eij",
+                },
+                sep_cnt = class.sep_cnt,
+                threshold = threshold,
+                vars = class.vars.len(),
+                range = class.range,
+                var_bits = params.var_bits,
+                width = params.width,
+            );
+        }
+    }
 
     let eq_only: Vec<bool> = analysis
         .classes
@@ -277,10 +319,16 @@ pub fn encode(
 
     // Transitivity constraints per EIJ class.
     let mut trans_clauses: Vec<Vec<Signal>> = Vec::new();
-    for ((class, method), eq) in analysis.classes.iter().zip(&methods).zip(&eq_only) {
+    for (i, ((class, method), eq)) in analysis
+        .classes
+        .iter()
+        .zip(&methods)
+        .zip(&eq_only)
+        .enumerate()
+    {
         if *method == ClassMethod::Eij {
             let budget = options.trans_budget.saturating_sub(trans_clauses.len());
-            let clauses = if *eq {
+            let result = if *eq {
                 generate_equality_transitivity(
                     &mut ctx.circuit,
                     &mut ctx.eq_table,
@@ -288,7 +336,7 @@ pub fn encode(
                     budget,
                     options.deadline,
                     options.cancel.as_ref(),
-                )?
+                )
             } else {
                 generate_transitivity(
                     &mut ctx.circuit,
@@ -297,8 +345,29 @@ pub fn encode(
                     budget,
                     options.deadline,
                     options.cancel.as_ref(),
-                )?
+                )
             };
+            let clauses = match result {
+                Ok(clauses) => clauses,
+                Err(err) => {
+                    sufsat_obs::event!(
+                        "encode.abort",
+                        class = i,
+                        cancelled = err.cancelled,
+                        timed_out = err.timed_out,
+                        generated = trans_clauses.len(),
+                    );
+                    return Err(err);
+                }
+            };
+            if obs_span.is_recording() {
+                sufsat_obs::event!(
+                    "encode.trans",
+                    class = i,
+                    clauses = clauses.len(),
+                    equality_only = *eq,
+                );
+            }
             trans_clauses.extend(clauses);
         }
     }
@@ -319,6 +388,16 @@ pub fn encode(
         pred_vars: table.len() + eq_table.len(),
         gates: circuit.num_gates(),
     };
+    if obs_span.is_recording() {
+        sufsat_obs::event!(
+            "encode.done",
+            sd_classes = stats.sd_classes,
+            eij_classes = stats.eij_classes,
+            trans_clauses = stats.trans_clauses,
+            pred_vars = stats.pred_vars,
+            gates = stats.gates,
+        );
+    }
 
     let decode = DecodeInfo {
         sd_bits: sd_bit_inputs,

@@ -140,6 +140,14 @@ fn replay_files(files: &[PathBuf], oracle: &OracleOptions) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    sufsat_obs::init_from_env();
+    let code = run();
+    sufsat_obs::emit_counter_records();
+    sufsat_obs::shutdown();
+    code
+}
+
+fn run() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
         Ok(cli) => cli,

@@ -302,27 +302,56 @@ pub fn run_oracle(
     phi: TermId,
     procs: &[Procedure],
 ) -> Result<OracleReport, OracleFailure> {
+    let span = sufsat_obs::span_with!("fuzz.oracle", procedures = procs.len());
     let mut answers: Vec<(String, ProcedureAnswer)> = Vec::with_capacity(procs.len());
     for proc in procs {
         let outcome = catch_unwind(AssertUnwindSafe(|| (proc.run)(tm, phi)));
         match outcome {
-            Ok(Ok(answer)) => answers.push((proc.name.clone(), answer)),
+            Ok(Ok(answer)) => {
+                if span.is_recording() {
+                    sufsat_obs::event!(
+                        "fuzz.procedure",
+                        name = proc.name.as_str(),
+                        verdict = match answer.verdict {
+                            Verdict::Valid => "valid",
+                            Verdict::Invalid => "invalid",
+                            Verdict::Unknown => "unknown",
+                        },
+                        certified = answer.certified,
+                        panicked = false
+                    );
+                }
+                answers.push((proc.name.clone(), answer));
+            }
             Ok(Err(detail)) => {
-                return Err(OracleFailure::Certificate {
+                let failure = OracleFailure::Certificate {
                     name: proc.name.clone(),
                     detail,
-                })
+                };
+                trace_failure(&span, &failure);
+                return Err(failure);
             }
             Err(payload) => {
+                if span.is_recording() {
+                    sufsat_obs::event!(
+                        "fuzz.procedure",
+                        name = proc.name.as_str(),
+                        verdict = "panic",
+                        certified = false,
+                        panicked = true
+                    );
+                }
                 let detail = payload
                     .downcast_ref::<String>()
                     .cloned()
                     .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                     .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                return Err(OracleFailure::Panic {
+                let failure = OracleFailure::Panic {
                     name: proc.name.clone(),
                     detail,
-                });
+                };
+                trace_failure(&span, &failure);
+                return Err(failure);
             }
         }
     }
@@ -335,15 +364,46 @@ pub fn run_oracle(
     let consensus = definitive.first().copied();
     if let Some(first) = consensus {
         if definitive.iter().any(|v| *v != first) {
-            return Err(OracleFailure::Disagreement {
+            let failure = OracleFailure::Disagreement {
                 answers: answers
                     .iter()
                     .map(|(name, a)| (name.clone(), a.verdict))
                     .collect(),
-            });
+            };
+            trace_failure(&span, &failure);
+            return Err(failure);
         }
     }
+    if span.is_recording() {
+        static ORACLE_RUNS: sufsat_obs::Counter = sufsat_obs::Counter::new("fuzz.oracle.runs");
+        ORACLE_RUNS.incr();
+        sufsat_obs::event!(
+            "fuzz.oracle.done",
+            procedures = procs.len(),
+            definitive = definitive.len(),
+            consensus = consensus.map_or("none", |v| match v {
+                Verdict::Valid => "valid",
+                Verdict::Invalid => "invalid",
+                Verdict::Unknown => "unknown",
+            })
+        );
+    }
     Ok(OracleReport { answers, consensus })
+}
+
+fn trace_failure(span: &sufsat_obs::Span, failure: &OracleFailure) {
+    if !span.is_recording() {
+        return;
+    }
+    static ORACLE_FAILURES: sufsat_obs::Counter = sufsat_obs::Counter::new("fuzz.oracle.failures");
+    ORACLE_FAILURES.incr();
+    let name = match failure {
+        OracleFailure::Certificate { name, .. } | OracleFailure::Panic { name, .. } => {
+            name.as_str()
+        }
+        OracleFailure::Disagreement { .. } => "<panel>",
+    };
+    sufsat_obs::event!("fuzz.failure", kind = failure.kind(), name = name);
 }
 
 #[cfg(test)]

@@ -1,0 +1,164 @@
+//! Named atomic counters and gauges.
+//!
+//! A [`Counter`] or [`Gauge`] is declared as a `static` at the use site;
+//! the first update while tracing is enabled registers it in the global
+//! registry (one short-lived lock, once per site), after which every
+//! update is a single relaxed atomic RMW. While tracing is disabled,
+//! updates return after one relaxed atomic load — no lock, no allocation,
+//! no registration.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+}
+
+static REGISTRY: Mutex<Vec<(&'static str, Metric)>> = Mutex::new(Vec::new());
+
+fn register_counter(name: &'static str) -> Arc<AtomicU64> {
+    let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for (existing, metric) in registry.iter() {
+        if *existing == name {
+            if let Metric::Counter(cell) = metric {
+                return Arc::clone(cell);
+            }
+        }
+    }
+    let cell = Arc::new(AtomicU64::new(0));
+    registry.push((name, Metric::Counter(Arc::clone(&cell))));
+    cell
+}
+
+fn register_gauge(name: &'static str) -> Arc<AtomicI64> {
+    let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for (existing, metric) in registry.iter() {
+        if *existing == name {
+            if let Metric::Gauge(cell) = metric {
+                return Arc::clone(cell);
+            }
+        }
+    }
+    let cell = Arc::new(AtomicI64::new(0));
+    registry.push((name, Metric::Gauge(Arc::clone(&cell))));
+    cell
+}
+
+/// A monotonically increasing named counter.
+///
+/// ```
+/// static CONFLICTS: sufsat_obs::Counter = sufsat_obs::Counter::new("sat.conflicts");
+/// CONFLICTS.add(3); // no-op unless tracing is enabled
+/// ```
+pub struct Counter {
+    name: &'static str,
+    slot: OnceLock<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Declares a counter. Registration is deferred to the first update
+    /// with tracing enabled.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Adds `delta`. A no-op (one atomic load) while tracing is disabled.
+    pub fn add(&self, delta: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.slot
+            .get_or_init(|| register_counter(self.name))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 if never registered).
+    pub fn value(&self) -> u64 {
+        self.slot
+            .get()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A named gauge holding the last value set.
+pub struct Gauge {
+    name: &'static str,
+    slot: OnceLock<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// Declares a gauge. Registration is deferred to the first update with
+    /// tracing enabled.
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Sets the gauge. A no-op (one atomic load) while tracing is disabled.
+    pub fn set(&self, value: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.slot
+            .get_or_init(|| register_gauge(self.name))
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// The current value (0 if never registered).
+    pub fn value(&self) -> i64 {
+        self.slot
+            .get()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Adds `delta` to the counter named `name` (dynamic-name variant: takes
+/// the registry lock on every call, so prefer a `static` [`Counter`] on
+/// hot paths). A no-op while tracing is disabled.
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    register_counter(name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+/// Gauges are reported alongside counters with their `i64` value widened.
+pub fn metrics_snapshot() -> Vec<(String, i64)> {
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<(String, i64)> = registry
+        .iter()
+        .map(|(name, metric)| {
+            let value = match metric {
+                Metric::Counter(c) => c.load(Ordering::Relaxed) as i64,
+                Metric::Gauge(g) => g.load(Ordering::Relaxed),
+            };
+            ((*name).to_owned(), value)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Emits one `counter` record per registered metric to the active sink.
+/// Typically called right before [`shutdown`](crate::shutdown) so traces
+/// end with a metrics summary.
+pub fn emit_counter_records() {
+    if !crate::enabled() {
+        return;
+    }
+    for (name, value) in metrics_snapshot() {
+        crate::counter_record(&name, value);
+    }
+}

@@ -1,0 +1,74 @@
+//! Concurrency hammer: counters, spans and events from many
+//! `thread::scope` workers must stay consistent and produce a trace whose
+//! every line is valid JSON. Runs in its own process because it installs a
+//! global sink.
+
+use std::sync::Arc;
+use std::thread;
+
+use sufsat_obs::json::{self, Json};
+
+static HAMMERED: sufsat_obs::Counter = sufsat_obs::Counter::new("test.hammered");
+
+const WORKERS: u64 = 8;
+const ITERS: u64 = 10_000;
+
+#[test]
+fn counters_and_spans_survive_contention() {
+    let ring = Arc::new(sufsat_obs::RingSink::new(1_000_000));
+    sufsat_obs::install(ring.clone());
+
+    thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            scope.spawn(move || {
+                let _span = sufsat_obs::span_with!("test.worker", worker = worker);
+                for i in 0..ITERS {
+                    HAMMERED.add(1);
+                    if i % 1000 == 0 {
+                        sufsat_obs::event!("test.progress", worker = worker, i = i);
+                    }
+                }
+            });
+        }
+    });
+
+    sufsat_obs::emit_counter_records();
+    sufsat_obs::shutdown();
+
+    // Every increment landed despite contention.
+    assert_eq!(HAMMERED.value(), WORKERS * ITERS);
+    let snapshot = sufsat_obs::metrics_snapshot();
+    let (_, total) = snapshot
+        .iter()
+        .find(|(name, _)| name == "test.hammered")
+        .expect("registered");
+    assert_eq!(*total, (WORKERS * ITERS) as i64);
+
+    // The interleaved trace is line-wise valid JSON with balanced spans
+    // and per-worker events attributed to that worker's span.
+    let lines = ring.lines();
+    let mut opens = 0u64;
+    let mut closes = 0u64;
+    let mut events = 0u64;
+    for line in &lines {
+        let record = json::parse(line).expect("valid json under contention");
+        assert!(record.get("ts").and_then(Json::as_u64).is_some(), "{line}");
+        assert!(record.get("thread").and_then(Json::as_u64).is_some(), "{line}");
+        match record.get("kind").and_then(Json::as_str).expect("kind") {
+            "span_open" => opens += 1,
+            "span_close" => {
+                closes += 1;
+                assert!(record.get("dur_us").and_then(Json::as_u64).is_some());
+            }
+            "event" => {
+                events += 1;
+                assert!(record.get("span").and_then(Json::as_u64).unwrap_or(0) > 0);
+            }
+            "counter" => {}
+            other => panic!("unexpected kind {other}"),
+        }
+    }
+    assert_eq!(opens, WORKERS);
+    assert_eq!(closes, WORKERS);
+    assert_eq!(events, WORKERS * ITERS.div_ceil(1000));
+}

@@ -248,7 +248,14 @@ impl Solver {
     /// test and fuzzing scale.
     pub fn check_proof(&self) -> Option<bool> {
         let proof = self.proof.as_ref()?;
-        Some(crate::proof::check_refutation(&self.input_clauses, proof))
+        let _span = sufsat_obs::span_with!(
+            "sat.check_proof",
+            inputs = self.input_clauses.len(),
+            steps = proof.steps().len(),
+        );
+        let ok = crate::proof::check_refutation(&self.input_clauses, proof);
+        sufsat_obs::event!("sat.check_proof.result", ok = ok);
+        Some(ok)
     }
 
     fn proof_add(&mut self, clause: &[Lit]) {
@@ -454,13 +461,59 @@ impl Solver {
     /// subset of the assumptions sufficient for the conflict, and the
     /// solver remains usable with different assumptions afterwards.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let span = sufsat_obs::span_with!(
+            "sat.solve",
+            vars = self.num_vars(),
+            clauses = self.stats.original_clauses,
+            assumptions = assumptions.len(),
+        );
+        let before = self.stats.clone();
         let start = Instant::now();
         self.assumptions = assumptions.to_vec();
         self.conflict_assumptions.clear();
         let result = self.search(start);
         self.assumptions.clear();
         self.stats.solve_time += start.elapsed();
+        if span.is_recording() {
+            self.trace_solve(&before, &result);
+        }
         result
+    }
+
+    /// Emits the per-solve event and bumps the cumulative counters
+    /// (deltas against `before`, so stats accumulating across solve calls
+    /// are not double-counted).
+    fn trace_solve(&self, before: &Stats, result: &SolveResult) {
+        static CONFLICTS: sufsat_obs::Counter = sufsat_obs::Counter::new("sat.conflicts");
+        static DECISIONS: sufsat_obs::Counter = sufsat_obs::Counter::new("sat.decisions");
+        static PROPAGATIONS: sufsat_obs::Counter = sufsat_obs::Counter::new("sat.propagations");
+        static RESTARTS: sufsat_obs::Counter = sufsat_obs::Counter::new("sat.restarts");
+        static SOLVES: sufsat_obs::Counter = sufsat_obs::Counter::new("sat.solves");
+        let s = &self.stats;
+        CONFLICTS.add(s.conflicts - before.conflicts);
+        DECISIONS.add(s.decisions - before.decisions);
+        PROPAGATIONS.add(s.propagations - before.propagations);
+        RESTARTS.add(s.restarts - before.restarts);
+        SOLVES.incr();
+        let verdict = match result {
+            SolveResult::Sat => "sat",
+            SolveResult::Unsat => "unsat",
+            SolveResult::Unknown(Interrupt::ConflictBudget) => "conflict_budget",
+            SolveResult::Unknown(Interrupt::Timeout) => "timeout",
+            SolveResult::Unknown(Interrupt::Cancelled) => "cancelled",
+        };
+        sufsat_obs::event!(
+            "sat.result",
+            result = verdict,
+            conflicts = s.conflicts - before.conflicts,
+            decisions = s.decisions - before.decisions,
+            propagations = s.propagations - before.propagations,
+            restarts = s.restarts - before.restarts,
+            learnt_clauses = s.learnt_clauses - before.learnt_clauses,
+            reductions = s.reductions - before.reductions,
+            cnf_clauses = s.original_clauses,
+            proof_steps = self.proof.as_ref().map_or(0, |p| p.steps().len()),
+        );
     }
 
     /// After `Unsat` from [`Solver::solve_with_assumptions`]: a subset of

@@ -35,12 +35,16 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "clauses={} conflicts={} decisions={} propagations={} restarts={} time={:?}",
+            "clauses={} conflicts={} learnt={} learnt-lits={} decisions={} \
+             propagations={} restarts={} reductions={} time={:?}",
             self.original_clauses,
             self.conflicts,
+            self.learnt_clauses,
+            self.learnt_literals,
             self.decisions,
             self.propagations,
             self.restarts,
+            self.reductions,
             self.solve_time
         )
     }
@@ -69,6 +73,34 @@ pub(crate) fn luby(index: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_reports_every_counter() {
+        let stats = Stats {
+            conflicts: 1,
+            learnt_clauses: 2,
+            learnt_literals: 3,
+            decisions: 4,
+            propagations: 5,
+            restarts: 6,
+            reductions: 7,
+            original_clauses: 8,
+            solve_time: Duration::from_millis(9),
+        };
+        let s = stats.to_string();
+        for needle in [
+            "clauses=8",
+            "conflicts=1",
+            "learnt=2",
+            "learnt-lits=3",
+            "decisions=4",
+            "propagations=5",
+            "restarts=6",
+            "reductions=7",
+        ] {
+            assert!(s.contains(needle), "`{s}` missing `{needle}`");
+        }
+    }
 
     #[test]
     fn luby_prefix_matches_reference() {

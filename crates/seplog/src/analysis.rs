@@ -141,6 +141,22 @@ impl SepAnalysis {
     ///
     /// Panics if the formula still contains applications.
     pub fn new(tm: &TermManager, root: TermId, p_vars: &HashSet<VarSym>) -> SepAnalysis {
+        let obs_span = sufsat_obs::span("seplog.analyze");
+        let analysis = SepAnalysis::build(tm, root, p_vars);
+        if obs_span.is_recording() {
+            sufsat_obs::event!(
+                "seplog.analysis",
+                classes = analysis.classes.len(),
+                sep_predicates = analysis.total_sep_predicates(),
+                p_vars = analysis.p_vars.len(),
+                max_range = analysis.classes.iter().map(|c| c.range).max().unwrap_or(0),
+                total_range = analysis.classes.iter().map(|c| c.range).sum::<u64>(),
+            );
+        }
+        analysis
+    }
+
+    fn build(tm: &TermManager, root: TermId, p_vars: &HashSet<VarSym>) -> SepAnalysis {
         let ground = GroundInfo::compute(tm, root);
         let atoms = collect_atoms(tm, root);
 

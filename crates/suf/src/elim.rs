@@ -73,6 +73,7 @@ pub struct ElimResult {
 /// assert!(!contains_applications(&tm, elim.formula));
 /// ```
 pub fn eliminate(tm: &mut TermManager, root: TermId) -> ElimResult {
+    let obs_span = sufsat_obs::span("suf.eliminate");
     let polarity = analyze_polarity(tm, root);
     let order = tm.postorder(root);
     let mut map: HashMap<TermId, TermId> = HashMap::with_capacity(order.len());
@@ -169,6 +170,21 @@ pub fn eliminate(tm: &mut TermManager, root: TermId) -> ElimResult {
         map.insert(id, new_id);
     }
 
+    if obs_span.is_recording() {
+        // The paper's p-function split (positive-equality analysis) plus
+        // instance counts: how much nested-ITE structure elimination built.
+        sufsat_obs::event!(
+            "suf.eliminate.done",
+            fun_syms = fun_instances.len(),
+            fun_instances = fun_instances.values().map(Vec::len).sum::<usize>(),
+            pred_syms = pred_instances.len(),
+            pred_instances = pred_instances.values().map(Vec::len).sum::<usize>(),
+            fresh_int = num_fresh_int,
+            fresh_bool = num_fresh_bool,
+            p_vars = p_vars.len(),
+            p_fun_fraction = polarity.p_fun_app_fraction(tm, root),
+        );
+    }
     ElimResult {
         formula: map[&root],
         p_vars,

@@ -142,6 +142,21 @@ fn parse_sexprs(tokens: &[String]) -> Result<Vec<SExpr>, ParseSufError> {
 /// # Ok::<(), sufsat_suf::ParseSufError>(())
 /// ```
 pub fn parse_problem(tm: &mut TermManager, src: &str) -> Result<TermId, ParseSufError> {
+    let obs_span = sufsat_obs::span_with!("suf.parse", bytes = src.len());
+    let result = parse_problem_inner(tm, src);
+    if obs_span.is_recording() {
+        match &result {
+            Ok(id) => sufsat_obs::event!("suf.parse.done", dag = tm.dag_size(*id)),
+            Err(e) => {
+                let msg = e.to_string();
+                sufsat_obs::event!("suf.parse.error", error = &msg);
+            }
+        }
+    }
+    result
+}
+
+fn parse_problem_inner(tm: &mut TermManager, src: &str) -> Result<TermId, ParseSufError> {
     let tokens = tokenize(src);
     let forms = parse_sexprs(&tokens)?;
     let mut formula = None;

@@ -17,6 +17,17 @@ echo "==> smoke: threshold selection (sequential)"
 echo "==> smoke: portfolio + parallel harness (2 worker threads)"
 ./target/release/paper-eval --timeout 2 --jobs 2 fig-portfolio
 
+echo "==> obs: traced benchmark run + wire-schema validation"
+rm -f target/ci-trace.jsonl
+SUFSAT_TRACE=target/ci-trace.jsonl ./target/release/paper-eval --timeout 2 fig2
+# check-trace exits non-zero on any schema drift: a record without
+# ts/kind/name/thread, an unknown kind, or unbalanced span nesting.
+./target/release/paper-eval check-trace target/ci-trace.jsonl
+./target/release/paper-eval report target/ci-trace.jsonl \
+    --stages target/ci-stages.json
+# The aggregation document must carry its schema marker.
+grep -q '"schema":"sufsat-stages-v1"' target/ci-stages.json
+
 echo "==> smoke: differential fuzzing (fixed seed, certified answers)"
 ./target/release/sufsat-fuzz --seed 2026 --cases 200 --quiet \
     --corpus target/fuzz-corpus

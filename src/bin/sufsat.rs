@@ -14,21 +14,36 @@
 //!     --timeout SECS               SAT wall-clock timeout
 //!     --stats                      print the measurement block
 //!     --counterexample             print the falsifying assignment
+//!     --trace PATH|stderr          record a structured JSON-lines trace
 //! Exit code: 0 valid, 1 invalid, 2 unknown/error.
 //! ```
+//!
+//! `SUFSAT_TRACE=<path|stderr>` enables the same trace recording as
+//! `--trace` (the flag wins when both are given).
 
 use std::io::Read;
+use std::process::ExitCode;
 use std::time::Duration;
 
 use sufsat::{decide, CnfMode, DecideOptions, EncodingMode, Outcome, TermManager};
 
-fn main() {
+fn main() -> ExitCode {
+    let code = run();
+    // Flush the trace (when one is being recorded) before the process
+    // exits with the verdict code.
+    sufsat_obs::emit_counter_records();
+    sufsat_obs::shutdown();
+    code
+}
+
+fn run() -> ExitCode {
     let mut mode = EncodingMode::Hybrid(sufsat::DEFAULT_SEP_THOLD);
     let mut septhold: Option<usize> = None;
     let mut cnf = CnfMode::Tseitin;
     let mut timeout: Option<Duration> = None;
     let mut show_stats = false;
     let mut show_cex = false;
+    let mut trace: Option<String> = None;
     let mut file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -67,11 +82,15 @@ fn main() {
             }
             "--stats" => show_stats = true,
             "--counterexample" => show_cex = true,
+            "--trace" => {
+                let v = args.next().unwrap_or_else(|| die("--trace needs a value"));
+                trace = Some(v);
+            }
             "--help" | "-h" => {
                 println!("usage: sufsat [--mode sd|eij|hybrid|fixed] [--septhold N]");
                 println!("              [--cnf tseitin|pg] [--timeout SECS]");
-                println!("              [--stats] [--counterexample] [FILE]");
-                return;
+                println!("              [--stats] [--counterexample] [--trace PATH|stderr] [FILE]");
+                return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') => file = Some(other.to_owned()),
             other => die(&format!("unknown option `{other}`")),
@@ -79,6 +98,17 @@ fn main() {
     }
     if let (EncodingMode::Hybrid(_), Some(t)) = (mode, septhold) {
         mode = EncodingMode::Hybrid(t);
+    }
+
+    match &trace {
+        Some(target) => {
+            if let Err(e) = sufsat_obs::init_to(target) {
+                die(&format!("cannot open trace target {target}: {e}"));
+            }
+        }
+        None => {
+            sufsat_obs::init_from_env();
+        }
     }
 
     let source = match &file {
@@ -124,6 +154,7 @@ fn main() {
     match decision.outcome {
         Outcome::Valid => {
             println!("valid");
+            ExitCode::SUCCESS
         }
         Outcome::Invalid(cex) => {
             println!("invalid");
@@ -143,16 +174,17 @@ fn main() {
                     println!("  {name} = {val}");
                 }
             }
-            std::process::exit(1);
+            ExitCode::from(1)
         }
         Outcome::Unknown(reason) => {
             println!("unknown ({reason:?})");
-            std::process::exit(2);
+            ExitCode::from(2)
         }
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("sufsat: {msg}");
+    sufsat_obs::shutdown();
     std::process::exit(2);
 }
