@@ -31,6 +31,11 @@ pub struct LazyOptions {
     pub max_iterations: usize,
     /// Wall-clock timeout across all iterations.
     pub timeout: Option<Duration>,
+    /// Refinement rounds between solver `simplify` passes (`0` disables
+    /// them). Root-level units learned by refinement permanently satisfy
+    /// or shrink clauses; sweeping them out keeps the persistent solver's
+    /// watch lists lean over long runs.
+    pub simplify_period: usize,
 }
 
 impl Default for LazyOptions {
@@ -38,6 +43,7 @@ impl Default for LazyOptions {
         LazyOptions {
             max_iterations: 2_000_000,
             timeout: None,
+            simplify_period: 64,
         }
     }
 }
@@ -52,6 +58,8 @@ pub struct LazyStats {
     pub theory_checks: usize,
     /// Conflict clauses added by refinement.
     pub refinement_clauses: usize,
+    /// Periodic solver `simplify` passes between refinement rounds.
+    pub simplify_calls: usize,
     /// Total wall time.
     pub time: Duration,
 }
@@ -178,6 +186,18 @@ pub fn decide_lazy(
         if stats.iterations >= options.max_iterations {
             stats.time = start.elapsed();
             return (Outcome::Unknown(StopReason::ConflictBudget), stats);
+        }
+        if options.simplify_period > 0
+            && stats.iterations > 0
+            && stats.iterations % options.simplify_period == 0
+        {
+            solver.simplify();
+            stats.simplify_calls += 1;
+            sufsat_obs::event!(
+                "baselines.lazy.simplify",
+                iteration = stats.iterations,
+                refinement_clauses = stats.refinement_clauses,
+            );
         }
         stats.iterations += 1;
         match solver.solve() {
@@ -503,6 +523,30 @@ mod tests {
     }
 
     #[test]
+    fn periodic_simplify_runs_and_preserves_the_answer() {
+        // A transitivity chain needs several refinement rounds; with a
+        // period of 1, every round but the first is preceded by a
+        // simplify pass, and the verdict must be unaffected.
+        let mut tm = TermManager::new();
+        let vs: Vec<TermId> = (0..5).map(|i| tm.int_var(&format!("c{i}"))).collect();
+        let mut hyp = tm.mk_true();
+        for w in vs.windows(2) {
+            let lt = tm.mk_lt(w[0], w[1]);
+            hyp = tm.mk_and(hyp, lt);
+        }
+        let conc = tm.mk_lt(vs[0], vs[4]);
+        let phi = tm.mk_implies(hyp, conc);
+        let options = LazyOptions {
+            simplify_period: 1,
+            ..LazyOptions::default()
+        };
+        let (outcome, stats) = decide_lazy(&mut tm, phi, &options);
+        assert!(outcome.is_valid());
+        assert!(stats.simplify_calls >= 1, "{stats:?}");
+        assert_eq!(stats.simplify_calls, stats.iterations - 1, "{stats:?}");
+    }
+
+    #[test]
     fn counterexamples_are_verified() {
         let mut tm = TermManager::new();
         let x = tm.int_var("x");
@@ -576,7 +620,7 @@ mod tests {
         let phi = tm.mk_implies(hyp, xz);
         let opts = LazyOptions {
             max_iterations: 1,
-            timeout: None,
+            ..LazyOptions::default()
         };
         let (outcome, _) = decide_lazy(&mut tm, phi, &opts);
         assert_eq!(outcome, Outcome::Unknown(StopReason::ConflictBudget));

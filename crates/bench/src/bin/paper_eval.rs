@@ -3,7 +3,7 @@
 //! ```text
 //! paper-eval [--timeout SECS] [--septhold N] [--csv DIR] [--jobs N]
 //!            [--trace FILE|stderr]
-//!            [fig2|fig3|fig4|fig5|fig6|fig-portfolio|threshold|all|dump DIR]
+//!            [fig2|fig3|fig4|fig5|fig6|fig-portfolio|fig-incremental|threshold|all|dump DIR]
 //! paper-eval report <TRACE> [--stages FILE]
 //! paper-eval check-trace <TRACE>
 //! ```
@@ -35,6 +35,8 @@
 //! * `fig5` — the 10 invariant-checking benchmarks with `SEP_THOLD = 100`.
 //! * `fig6` — HYBRID vs the SVC- and CVC-style baselines on the 39
 //!   non-invariant benchmarks.
+//! * `fig-incremental` — incremental BMC on one persistent session vs
+//!   the from-scratch engine over the transition-system suite.
 //!
 //! Absolute numbers differ from a 2003 Pentium-IV with zChaff; the *shape*
 //! (who wins, by what factor, where the crossover sits) is the
@@ -165,6 +167,7 @@ fn main() {
         "fig5" => fig5(&config),
         "fig6" => fig6(&config),
         "fig-portfolio" => fig_portfolio(&config),
+        "fig-incremental" => fig_incremental(&config),
         "all" => {
             let t = threshold_experiment(&config, true);
             let c = Config {
@@ -179,6 +182,7 @@ fn main() {
             fig5(&c);
             fig6(&c);
             fig_portfolio(&c);
+            fig_incremental(&c);
         }
         other => {
             eprintln!("unknown command `{other}`");
@@ -637,5 +641,110 @@ fn fig_portfolio(config: &Config) {
     println!(
         "shape check: PORTFOLIO should complete everywhere and track the \
          per-benchmark best lane (small overhead when lanes share cores)"
+    );
+}
+
+/// `fig-incremental`: incremental BMC (one persistent session across
+/// depths) vs the from-scratch engine on the transition-system suite —
+/// wall-clock, total SAT conflicts, and the session's reuse counters.
+/// Verdicts must agree exactly; disagreement is a hard error.
+fn fig_incremental(config: &Config) {
+    use sufsat_core::{check_bounded_with_stats, BmcResult, DecideOptions};
+    use sufsat_incremental::check_bounded_incremental_report;
+    use sufsat_workloads::system_suite;
+
+    banner("Incremental BMC: persistent session vs from-scratch, per system");
+    let options = DecideOptions {
+        timeout: Some(config.timeout),
+        ..DecideOptions::default()
+    };
+
+    fn verdict_label(r: &BmcResult) -> String {
+        match r {
+            BmcResult::Bounded(b) => format!("safe@{b}"),
+            BmcResult::CounterexampleAt { step, .. } => format!("cex@{step}"),
+            BmcResult::Unknown { step, .. } => format!("unknown@{step}"),
+        }
+    }
+
+    println!(
+        "{:>12} {:>6} {:>9} | {:>10} {:>10} | {:>10} {:>10} {:>7} {:>7}",
+        "system",
+        "bound",
+        "verdict",
+        "scratch",
+        "conflicts",
+        "incr",
+        "conflicts",
+        "reused",
+        "reenc",
+    );
+    let mut rows: Vec<String> = Vec::new();
+    for bench in system_suite() {
+        let mut tm_scratch = bench.tm.clone();
+        let scratch_start = std::time::Instant::now();
+        let (scratch, scratch_stats) =
+            check_bounded_with_stats(&mut tm_scratch, &bench.system, bench.bound, &options);
+        let scratch_time = scratch_start.elapsed();
+
+        let mut tm_incr = bench.tm.clone();
+        let incr_start = std::time::Instant::now();
+        let (incr, report) =
+            check_bounded_incremental_report(&mut tm_incr, &bench.system, bench.bound, &options);
+        let incr_time = incr_start.elapsed();
+
+        let agree = match (&scratch, &incr) {
+            (BmcResult::Bounded(a), BmcResult::Bounded(b)) => a == b,
+            (
+                BmcResult::CounterexampleAt { step: a, .. },
+                BmcResult::CounterexampleAt { step: b, .. },
+            ) => a == b,
+            (BmcResult::Unknown { .. }, BmcResult::Unknown { .. }) => true,
+            _ => false,
+        };
+        assert!(
+            agree,
+            "{}: incremental verdict {} disagrees with from-scratch {}",
+            bench.name,
+            verdict_label(&incr),
+            verdict_label(&scratch)
+        );
+
+        println!(
+            "{:>12} {:>6} {:>9} | {:>10} {:>10} | {:>10} {:>10} {:>7} {:>7}",
+            bench.name,
+            bench.bound,
+            verdict_label(&scratch),
+            format!("{:.3}s", scratch_time.as_secs_f64()),
+            scratch_stats.conflict_clauses,
+            format!("{:.3}s", incr_time.as_secs_f64()),
+            report.conflicts,
+            report.reused_roots,
+            report.reencodes,
+        );
+        rows.push(format!(
+            "{},{},{},{:.6},{},{:.6},{},{},{},{}",
+            bench.name,
+            bench.bound,
+            verdict_label(&scratch),
+            scratch_time.as_secs_f64(),
+            scratch_stats.conflict_clauses,
+            incr_time.as_secs_f64(),
+            report.conflicts,
+            report.reused_roots,
+            report.fresh_roots,
+            report.reencodes,
+        ));
+    }
+    config.write_csv(
+        "fig-incremental",
+        "system,bound,verdict,scratch_s,scratch_conflicts,incr_s,incr_conflicts,\
+         reused_roots,fresh_roots,reencodes",
+        &rows,
+    );
+    println!(
+        "shape check: verdicts agree everywhere; the session should spend \
+         fewer total conflicts than from-scratch once depth ≥ 3 (learnt \
+         clauses and encodings carry across depths)"
     );
 }

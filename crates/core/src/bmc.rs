@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use sufsat_seplog::SepAssignment;
 use sufsat_suf::{substitute, Sort, TermId, TermManager};
 
-use crate::decide::{decide, DecideOptions, Outcome, StopReason};
+use crate::decide::{decide, DecideOptions, DecideStats, Outcome, StopReason};
 
 /// A deterministic symbolic transition system over integer state variables,
 /// with fresh-per-step primary inputs.
@@ -99,6 +99,19 @@ pub fn check_bounded(
     bound: usize,
     options: &DecideOptions,
 ) -> BmcResult {
+    check_bounded_with_stats(tm, system, bound, options).0
+}
+
+/// [`check_bounded`], additionally reporting the accumulated cost of every
+/// per-step decision (times and clause/conflict counters summed via
+/// [`DecideStats::absorb`]). The incremental-BMC evaluation compares this
+/// total against a persistent-session run.
+pub fn check_bounded_with_stats(
+    tm: &mut TermManager,
+    system: &TransitionSystem,
+    bound: usize,
+    options: &DecideOptions,
+) -> (BmcResult, DecideStats) {
     assert_eq!(
         system.state.len(),
         system.next.len(),
@@ -117,18 +130,22 @@ pub fn check_bounded(
     // Current symbolic value of each state variable (step 0: itself).
     let mut current: HashMap<TermId, TermId> =
         system.state.iter().map(|&s| (s, s)).collect();
+    let mut total = DecideStats::default();
 
     for step in 0..=bound {
         // Obligation: init(s0) => property(s_step).
         let prop_now = substitute_state(tm, system.property, system, &current, step);
         let obligation = tm.mk_implies(system.init, prop_now);
         let decision = decide(tm, obligation, options);
+        total.absorb(&decision.stats);
         match decision.outcome {
             Outcome::Valid => {}
             Outcome::Invalid(assignment) => {
-                return BmcResult::CounterexampleAt { step, assignment };
+                return (BmcResult::CounterexampleAt { step, assignment }, total);
             }
-            Outcome::Unknown(reason) => return BmcResult::Unknown { step, reason },
+            Outcome::Unknown(reason) => {
+                return (BmcResult::Unknown { step, reason }, total);
+            }
         }
         if step == bound {
             break;
@@ -143,12 +160,17 @@ pub fn check_bounded(
             current.insert(*s, n);
         }
     }
-    BmcResult::Bounded(bound)
+    (BmcResult::Bounded(bound), total)
 }
 
 /// Substitutes the current symbolic state into `term` and freshens the
 /// inputs for `step`.
-fn substitute_state(
+///
+/// `current` maps each state variable to its symbolic value at the current
+/// step; inputs are replaced by fresh `in<step>!…` copies. Public so that
+/// alternative unrolling clients (the incremental session's BMC mode)
+/// produce the *same* obligations as [`check_bounded`].
+pub fn substitute_state(
     tm: &mut TermManager,
     term: TermId,
     system: &TransitionSystem,

@@ -19,8 +19,12 @@
 //! differential fuzzing harness (`sufsat-fuzz`) turns a non-holding
 //! certificate into a shrunk reproducer.
 
+use std::collections::HashMap;
+
 use sufsat_seplog::SepAssignment;
-use sufsat_suf::{eval, ElimResult, MapInterpretation, TermId, TermManager, Value};
+use sufsat_suf::{
+    eval, ElimResult, FunSym, MapInterpretation, PredSym, TermId, TermManager, Value,
+};
 
 /// Machine-checked evidence for one [`decide`](crate::decide) answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +83,19 @@ pub fn counterexample_interpretation(
     elim: &ElimResult,
     cex: &SepAssignment,
 ) -> MapInterpretation {
+    interpretation_from_instances(tm, &elim.fun_instances, &elim.pred_instances, cex)
+}
+
+/// [`counterexample_interpretation`] over bare instance tables — the form
+/// incremental sessions use, where the tables live in a persistent
+/// [`sufsat_suf::IncrementalElim`] rather than a one-shot
+/// [`ElimResult`].
+pub fn interpretation_from_instances(
+    tm: &TermManager,
+    fun_instances: &HashMap<FunSym, Vec<(Vec<TermId>, TermId)>>,
+    pred_instances: &HashMap<PredSym, Vec<(Vec<TermId>, TermId)>>,
+    cex: &SepAssignment,
+) -> MapInterpretation {
     // The same base the assignment's own `evaluate` uses: seed 0 and
     // fallback range 1, so symbols outside the assignment default to
     // 0/deterministic values consistently on both sides of the comparison.
@@ -95,14 +112,14 @@ pub fn counterexample_interpretation(
     // evaluates them directly.
     let arg_value = |interp: &MapInterpretation, t: TermId| eval(tm, t, interp).as_int();
 
-    for (&f, instances) in &elim.fun_instances {
+    for (&f, instances) in fun_instances {
         for (args, fresh) in instances {
             let vals: Vec<i64> = args.iter().map(|&a| arg_value(&interp, a)).collect();
             let out = eval(tm, *fresh, &interp).as_int();
             interp.fun_tables.entry((f, vals)).or_insert(out);
         }
     }
-    for (&p, instances) in &elim.pred_instances {
+    for (&p, instances) in pred_instances {
         for (args, fresh) in instances {
             let vals: Vec<i64> = args.iter().map(|&a| arg_value(&interp, a)).collect();
             let out = eval(tm, *fresh, &interp).as_bool();

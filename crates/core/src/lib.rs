@@ -38,9 +38,12 @@ mod decide;
 mod portfolio;
 mod threshold;
 
-pub use bmc::{check_bounded, BmcResult, TransitionSystem};
+pub use bmc::{
+    check_bounded, check_bounded_with_stats, substitute_state, BmcResult, TransitionSystem,
+};
 pub use certify::{
-    counterexample_falsifies_original, counterexample_interpretation, Certificate,
+    counterexample_falsifies_original, counterexample_interpretation,
+    interpretation_from_instances, Certificate,
 };
 pub use decide::{
     decide, DecideOptions, DecideStats, Decision, Outcome, StopReason, DEFAULT_SEP_THOLD,

@@ -74,11 +74,19 @@ pub enum GateNode {
 /// assert_eq!(c.and(a, !a), Signal::FALSE);
 /// assert_eq!(c.or(a, Signal::TRUE), Signal::TRUE);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Circuit {
     gates: Vec<GateNode>,
     and_intern: HashMap<(Signal, Signal), Signal>,
     num_inputs: u32,
+}
+
+impl Default for Circuit {
+    /// Same as [`Circuit::new`]: gate 0 must always be the constant gate,
+    /// since `Signal::TRUE`/`Signal::FALSE` address it by index.
+    fn default() -> Circuit {
+        Circuit::new()
+    }
 }
 
 impl Circuit {
@@ -370,6 +378,18 @@ fn mask(width: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_reserves_the_constant_gate() {
+        // A derived Default once left `gates` empty, so the first input
+        // landed on gate 0 and aliased Signal::TRUE — every clause built
+        // from it silently vanished at CNF load.
+        let mut c = Circuit::default();
+        assert_eq!(c.num_gates(), 1);
+        let a = c.input();
+        assert!(!a.is_const());
+        assert_ne!(a, Signal::TRUE);
+    }
 
     #[test]
     fn constant_folding_rules() {

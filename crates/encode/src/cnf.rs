@@ -66,65 +66,161 @@ pub fn load_into_solver(
     mode: CnfMode,
     solver: &mut Solver,
 ) -> SignalMap {
-    let mut state = Loader {
-        circuit,
-        mode,
-        solver,
-        map: SignalMap::default(),
-        polarity: HashMap::new(),
-        emitted: HashMap::new(),
-    };
+    let mut loader = IncrementalLoader::new(mode);
+    loader.load(circuit, assertions, clauses, solver);
+    loader.into_map()
+}
 
-    // Polarity seeding (only meaningful for Plaisted–Greenbaum).
-    for &s in assertions {
+/// Resumable CNF loading state for an append-only circuit.
+///
+/// [`load_into_solver`] converts one snapshot of a circuit in a single
+/// shot; an incremental session instead keeps growing its circuit and
+/// needs later loads to reuse the gate-to-variable mapping and the
+/// already-emitted gate definitions of earlier loads. This struct owns
+/// exactly that state (the [`SignalMap`] plus per-gate polarity and
+/// emission bookkeeping) while borrowing the circuit and solver only for
+/// the duration of each call, so it can persist across checks.
+#[derive(Debug, Default)]
+pub struct IncrementalLoader {
+    mode: CnfMode,
+    map: SignalMap,
+    /// Needed polarities per gate (PG mode).
+    polarity: HashMap<usize, u8>,
+    /// Polarities already emitted per gate.
+    emitted: HashMap<usize, u8>,
+}
+
+impl IncrementalLoader {
+    /// An empty loader for the given CNF conversion style.
+    pub fn new(mode: CnfMode) -> IncrementalLoader {
+        IncrementalLoader {
+            mode,
+            ..IncrementalLoader::default()
+        }
+    }
+
+    /// The signal-to-variable mapping accumulated so far.
+    pub fn map(&self) -> &SignalMap {
+        &self.map
+    }
+
+    /// Consumes the loader, returning the accumulated mapping.
+    pub fn into_map(self) -> SignalMap {
+        self.map
+    }
+
+    /// Loads assertions and clauses permanently (unguarded), emitting
+    /// gate definitions only for cones not already defined by earlier
+    /// calls against the same (append-only) circuit.
+    pub fn load(
+        &mut self,
+        circuit: &Circuit,
+        assertions: &[Signal],
+        clauses: &[Vec<Signal>],
+        solver: &mut Solver,
+    ) {
+        let mut state = self.worker(circuit, solver);
+
+        // Polarity seeding (only meaningful for Plaisted–Greenbaum).
+        for &s in assertions {
+            state.require(s, POS);
+        }
+        for clause in clauses {
+            for &l in clause {
+                state.require(l, POS);
+            }
+        }
+
+        // Emit gate definitions bottom-up for everything reachable.
+        for &s in assertions {
+            state.define(s.gate());
+        }
+        for clause in clauses {
+            for &l in clause {
+                state.define(l.gate());
+            }
+        }
+
+        // Assert top-level constraints.
+        for &s in assertions {
+            match state.literal(s) {
+                Ok(lit) => {
+                    state.solver.add_clause([lit]);
+                }
+                Err(true) => {}
+                Err(false) => {
+                    state.solver.add_clause([]);
+                }
+            }
+        }
+        for clause in clauses {
+            let mut lits = Vec::with_capacity(clause.len());
+            let mut satisfied = false;
+            for &l in clause {
+                match state.literal(l) {
+                    Ok(lit) => lits.push(lit),
+                    Err(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Err(false) => {}
+                }
+            }
+            if !satisfied {
+                state.solver.add_clause(lits);
+            }
+        }
+    }
+
+    /// Loads signal `s` guarded by activation literal `act`: emits the
+    /// defining cone (shared, unguarded — gate definitions are universally
+    /// valid) and the single guarded clause `¬act ∨ s`, so the assertion
+    /// holds exactly when `act` is assumed. A constant-false signal
+    /// becomes the unit `¬act` (checks assuming `act` then answer unsat
+    /// with `act` in the failed-assumption core); a constant-true signal
+    /// needs no clause.
+    pub fn load_guarded(
+        &mut self,
+        circuit: &Circuit,
+        act: Lit,
+        s: Signal,
+        solver: &mut Solver,
+    ) {
+        let mut state = self.worker(circuit, solver);
         state.require(s, POS);
-    }
-    for clause in clauses {
-        for &l in clause {
-            state.require(l, POS);
-        }
-    }
-
-    // Emit gate definitions bottom-up for everything reachable.
-    for &s in assertions {
         state.define(s.gate());
-    }
-    for clause in clauses {
-        for &l in clause {
-            state.define(l.gate());
-        }
-    }
-
-    // Assert top-level constraints.
-    for &s in assertions {
         match state.literal(s) {
             Ok(lit) => {
-                state.solver.add_clause([lit]);
+                state.solver.add_clause([!act, lit]);
             }
             Err(true) => {}
             Err(false) => {
-                state.solver.add_clause([]);
+                state.solver.add_clause([!act]);
             }
         }
     }
-    for clause in clauses {
-        let mut lits = Vec::with_capacity(clause.len());
-        let mut satisfied = false;
-        for &l in clause {
-            match state.literal(l) {
-                Ok(lit) => lits.push(lit),
-                Err(true) => {
-                    satisfied = true;
-                    break;
-                }
-                Err(false) => {}
-            }
-        }
-        if !satisfied {
-            state.solver.add_clause(lits);
+
+    /// The SAT literal of a signal, allocating its variable (and emitting
+    /// nothing); `Err(value)` for constants.
+    pub fn literal_of(
+        &mut self,
+        circuit: &Circuit,
+        s: Signal,
+        solver: &mut Solver,
+    ) -> Result<Lit, bool> {
+        self.worker(circuit, solver).literal(s)
+    }
+
+    fn worker<'a>(&'a mut self, circuit: &'a Circuit, solver: &'a mut Solver) -> Loader<'a> {
+        Loader {
+            circuit,
+            mode: self.mode,
+            solver,
+            map: &mut self.map,
+            polarity: &mut self.polarity,
+            emitted: &mut self.emitted,
         }
     }
-    state.map
 }
 
 const POS: u8 = 0b01;
@@ -134,11 +230,11 @@ struct Loader<'a> {
     circuit: &'a Circuit,
     mode: CnfMode,
     solver: &'a mut Solver,
-    map: SignalMap,
+    map: &'a mut SignalMap,
     /// Needed polarities per gate (PG mode).
-    polarity: HashMap<usize, u8>,
+    polarity: &'a mut HashMap<usize, u8>,
     /// Polarities already emitted per gate.
-    emitted: HashMap<usize, u8>,
+    emitted: &'a mut HashMap<usize, u8>,
 }
 
 impl Loader<'_> {
@@ -387,6 +483,72 @@ mod tests {
         );
         assert_eq!(s1.solve(), SolveResult::Sat);
         assert_eq!(s2.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn guarded_assertions_toggle_with_assumptions() {
+        for mode in [CnfMode::Tseitin, CnfMode::PlaistedGreenbaum] {
+            let mut c = Circuit::new();
+            let a = c.input();
+            let b = c.input();
+            let ab = c.and(a, b);
+            let contra = c.and(a, !a);
+
+            let mut solver = Solver::new();
+            let mut loader = IncrementalLoader::new(mode);
+            let act1 = Lit::new(solver.new_var(), true);
+            let act2 = Lit::new(solver.new_var(), true);
+            loader.load_guarded(&c, act1, ab, &mut solver);
+            loader.load_guarded(&c, act2, contra, &mut solver);
+
+            // Unguarded solve: both assertions inactive, trivially sat.
+            assert_eq!(solver.solve(), sufsat_sat::SolveResult::Sat);
+            // Only the consistent assertion: sat, and the model satisfies it.
+            assert_eq!(
+                solver.solve_with_assumptions(&[act1]),
+                sufsat_sat::SolveResult::Sat
+            );
+            let map = loader.map();
+            assert!(map.input_value(&solver, 0) && map.input_value(&solver, 1));
+            // The contradiction makes it unsat, with act2 in the core.
+            assert_eq!(
+                solver.solve_with_assumptions(&[act1, act2]),
+                sufsat_sat::SolveResult::Unsat
+            );
+            assert!(solver.failed_assumptions().contains(&act2), "{mode:?}");
+            // Retiring act2 restores satisfiability under act1.
+            solver.add_clause([!act2]);
+            assert!(solver.simplify());
+            assert_eq!(
+                solver.solve_with_assumptions(&[act1]),
+                sufsat_sat::SolveResult::Sat
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_loader_reuses_gate_definitions() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let ab = c.and(a, b);
+
+        let mut solver = Solver::new();
+        let mut loader = IncrementalLoader::new(CnfMode::Tseitin);
+        loader.load(&c, &[ab], &[], &mut solver);
+        let clauses_once = solver.stats().original_clauses;
+        // Growing the circuit and loading a cone that shares `ab` emits
+        // only the new gates' definitions, not `ab`'s again.
+        let x = c.input();
+        let out = c.and(ab, x);
+        loader.load(&c, &[out], &[], &mut solver);
+        let clauses_twice = solver.stats().original_clauses;
+        assert!(
+            clauses_twice - clauses_once <= 4,
+            "re-emitted shared cone: {clauses_once} -> {clauses_twice}"
+        );
+        assert_eq!(solver.solve(), sufsat_sat::SolveResult::Sat);
+        assert!(loader.map().input_value(&solver, 2));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use sufsat_seplog::{solve_with_disequalities, Bound, DiffResult, Disequality, Se
 use sufsat_suf::VarSym;
 
 use crate::cnf::SignalMap;
-use crate::encoder::{ClassMethod, Encoded};
+use crate::encoder::{ClassMethod, DecodeInfo, Encoded};
 
 /// Failure to reconstruct an integer model from a satisfying SAT
 /// assignment: an EIJ class's active bounds had no integer solution,
@@ -66,7 +66,22 @@ pub fn try_decode_model(
     map: &SignalMap,
     solver: &Solver,
 ) -> Result<SepAssignment, DecodeFailure> {
-    let decode = &encoded.decode;
+    try_decode_model_parts(&encoded.decode, map, solver)
+}
+
+/// Decodes a satisfying SAT model from a bare [`DecodeInfo`], for callers
+/// (like the incremental session) that assemble decode metadata without a
+/// full [`Encoded`] result.
+///
+/// # Errors
+///
+/// Returns [`DecodeFailure`] if an EIJ class's active bounds have no
+/// integer solution (an internal soundness bug in the encoder).
+pub fn try_decode_model_parts(
+    decode: &DecodeInfo,
+    map: &SignalMap,
+    solver: &Solver,
+) -> Result<SepAssignment, DecodeFailure> {
     let mut out = SepAssignment::default();
 
     // Boolean symbolic constants.

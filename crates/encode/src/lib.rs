@@ -35,11 +35,15 @@ mod circuit;
 mod cnf;
 mod decode;
 mod encoder;
+mod incremental;
 mod trans;
 
 pub use circuit::{Circuit, GateNode, Signal};
-pub use cnf::{load_into_solver, CnfMode, SignalMap};
-pub use decode::{decode_model, try_decode_model, DecodeFailure};
+pub use cnf::{load_into_solver, CnfMode, IncrementalLoader, SignalMap};
+pub use decode::{decode_model, try_decode_model, try_decode_model_parts, DecodeFailure};
+pub use incremental::{
+    Delta, DeltaStats, IncrementalEncoder, ReencodeReason, VAR_BITS_HEADROOM,
+};
 pub use encoder::{
     encode, ClassMethod, DecodeInfo, EncodeOptions, EncodeStats, Encoded, EncodingMode,
 };

@@ -168,7 +168,7 @@ pub enum ElimOrder {
     InputOrder,
 }
 
-fn clause_key(clause: &[Signal]) -> Vec<Signal> {
+pub(crate) fn clause_key(clause: &[Signal]) -> Vec<Signal> {
     let mut k = clause.to_vec();
     k.sort_unstable();
     k

@@ -2,7 +2,9 @@
 //!
 //! Every formula is pushed through a panel of independent procedures —
 //! the six eager encoding modes, the lazy and case-splitting baselines,
-//! and the parallel portfolio — and the verdicts are compared. With
+//! the incremental session (the negated formula NNF-split into pushed
+//! conjuncts) and the parallel portfolio — and the verdicts are
+//! compared. With
 //! certification enabled, each eager/portfolio answer additionally
 //! carries a [`Certificate`]: SAT answers are replayed through the
 //! reference evaluator, UNSAT answers through the DRAT/RUP proof
@@ -17,6 +19,7 @@ use sufsat_baselines::{decide_lazy, decide_svc, LazyOptions, SvcOptions};
 use sufsat_core::{
     decide, decide_portfolio, DecideOptions, EncodingMode, Outcome, PortfolioOptions,
 };
+use sufsat_incremental::{conjuncts_of, Session};
 use sufsat_suf::{TermId, TermManager};
 
 /// A procedure's answer, stripped to what the oracle compares.
@@ -179,6 +182,48 @@ pub fn default_procedures(options: &OracleOptions) -> Vec<Procedure> {
                     verdict: Verdict::from(&outcome),
                     certified: false,
                 })
+            }),
+        });
+    }
+
+    {
+        // The incremental session answers the same validity question by
+        // refutation: ¬φ is NNF-split into conjuncts, each pushed in its
+        // own scope, and one check decides their joint satisfiability.
+        // This exercises activation-literal scoping, the monotone encoder
+        // and session certification against every other panel member.
+        let sess_opts = DecideOptions {
+            trans_budget: options.trans_budget,
+            timeout: Some(options.timeout),
+            certify: options.certify,
+            ..DecideOptions::default()
+        };
+        procs.push(Procedure {
+            name: "session".to_string(),
+            run: Box::new(move |tm, phi| {
+                let mut tm = tm.clone();
+                let neg = tm.mk_not(phi);
+                let conjuncts = conjuncts_of(&mut tm, neg);
+                let mut session = Session::with_term_manager(tm, sess_opts.clone());
+                for c in conjuncts {
+                    session.push();
+                    session.assert(c);
+                }
+                let result = session.check();
+                let verdict = Verdict::from(&result.outcome);
+                match result.certificate {
+                    Some(cert) if !cert.holds() => {
+                        Err(format!("certificate check failed: {cert:?}"))
+                    }
+                    Some(_) => Ok(ProcedureAnswer {
+                        verdict,
+                        certified: true,
+                    }),
+                    None => Ok(ProcedureAnswer {
+                        verdict,
+                        certified: false,
+                    }),
+                }
             }),
         });
     }
@@ -415,7 +460,7 @@ mod tests {
     fn panel_agrees_on_simple_formulas() {
         let options = OracleOptions::default();
         let procs = default_procedures(&options);
-        assert_eq!(procs.len(), 9);
+        assert_eq!(procs.len(), 10);
         let cases = [
             ("(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))", Verdict::Valid),
             ("(vars x y) (funs (f 1)) (formula (=> (= (f x) (f y)) (= x y)))", Verdict::Invalid),

@@ -1,0 +1,194 @@
+//! Unsat-core minimization over assumption literals.
+//!
+//! [`Solver::failed_assumptions`] returns a core that is *sufficient* for
+//! the conflict but often far from minimal — conflict analysis pulls in
+//! every assumption on the trail below the conflict. Incremental sessions
+//! surface the core to users (which pushed frames contradict?), so a
+//! cheap destructive-minimization pass pays for itself: iteratively
+//! re-solve with one candidate dropped; if the rest is still unsat, the
+//! candidate was redundant (and the new failed set may shrink the core
+//! further), otherwise it is kept.
+//!
+//! The pass is budget-capped by solve count; on budget exhaustion (or an
+//! interrupted solve) the current — still sufficient — core is returned.
+
+use crate::lit::Lit;
+use crate::solver::{SolveResult, Solver};
+
+/// Measurements of one [`minimize_assumptions`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct MinimizeStats {
+    /// Re-solves performed.
+    pub solves: u64,
+    /// Assumptions dropped from the initial core.
+    pub removed: usize,
+    /// Whether the solve budget ran out before the pass converged.
+    pub budget_exhausted: bool,
+}
+
+/// Shrinks an unsat core of assumption literals by iterative deletion.
+///
+/// `core` must be a set of assumptions under which `solver` is unsat
+/// (typically the result of [`Solver::failed_assumptions`] after an
+/// unsat [`Solver::solve_with_assumptions`] call). At most `max_solves`
+/// re-solves are spent. The returned core is a subset of `core` under
+/// which the solver is still unsat; it is subset-minimal when the pass
+/// converged within budget and no solve was interrupted.
+pub fn minimize_assumptions(
+    solver: &mut Solver,
+    core: &[Lit],
+    max_solves: u64,
+) -> (Vec<Lit>, MinimizeStats) {
+    let mut working: Vec<Lit> = Vec::with_capacity(core.len());
+    for &l in core {
+        if !working.contains(&l) {
+            working.push(l);
+        }
+    }
+    let initial = working.len();
+    let mut stats = MinimizeStats::default();
+    let mut i = 0;
+    while i < working.len() {
+        if stats.solves >= max_solves {
+            stats.budget_exhausted = true;
+            break;
+        }
+        let candidate: Vec<Lit> = working
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &l)| l)
+            .collect();
+        stats.solves += 1;
+        match solver.solve_with_assumptions(&candidate) {
+            SolveResult::Unsat => {
+                // Redundant: keep only what the new conflict needed,
+                // preserving order. (An outright-unsat formula yields an
+                // empty failed set, collapsing the core to nothing.)
+                let failed = solver.failed_assumptions().to_vec();
+                working.retain(|l| failed.contains(l));
+            }
+            SolveResult::Sat | SolveResult::Unknown(_) => {
+                // Necessary (or undecided within budget): keep it.
+                i += 1;
+            }
+        }
+    }
+    stats.removed = initial - working.len();
+    (working, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Crafted instance where the eager failed-assumption core is strictly
+    /// larger than the minimal one: assuming `a1` propagates `x`, so the
+    /// conflict on `a2`'s clauses pulls `a1` into the analyzed core even
+    /// though `a2`'s two clauses alone are contradictory.
+    #[test]
+    fn minimization_strictly_shrinks_a_crafted_core() {
+        let mut solver = Solver::new();
+        let a1 = solver.new_var().positive();
+        let a2 = solver.new_var().positive();
+        let x = solver.new_var();
+        solver.add_clause([!a1, x.positive()]);
+        solver.add_clause([!a2, x.negative()]);
+        solver.add_clause([!a2, x.positive()]);
+
+        assert_eq!(solver.solve_with_assumptions(&[a1, a2]), SolveResult::Unsat);
+        let eager = solver.failed_assumptions().to_vec();
+        assert!(eager.contains(&a2));
+
+        let (minimal, stats) = minimize_assumptions(&mut solver, &[a1, a2], 16);
+        assert_eq!(minimal, vec![a2], "only a2's clauses are contradictory");
+        assert!(minimal.len() < 2, "strictly smaller than the assumed set");
+        assert_eq!(stats.removed, 1);
+        assert!(!stats.budget_exhausted);
+        // The minimized core still refutes.
+        assert_eq!(solver.solve_with_assumptions(&minimal), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn necessary_assumptions_are_all_kept() {
+        // x and !x only under both assumptions: the core {a1, a2} is
+        // already minimal.
+        let mut solver = Solver::new();
+        let a1 = solver.new_var().positive();
+        let a2 = solver.new_var().positive();
+        let x = solver.new_var();
+        solver.add_clause([!a1, x.positive()]);
+        solver.add_clause([!a2, x.negative()]);
+        assert_eq!(solver.solve_with_assumptions(&[a1, a2]), SolveResult::Unsat);
+        let (minimal, stats) = minimize_assumptions(&mut solver, &[a1, a2], 16);
+        assert_eq!(minimal.len(), 2);
+        assert_eq!(stats.removed, 0);
+    }
+
+    #[test]
+    fn outright_unsat_collapses_to_empty_core() {
+        let mut solver = Solver::new();
+        let a = solver.new_var().positive();
+        let x = solver.new_var();
+        solver.add_clause([x.positive()]);
+        solver.add_clause([x.negative()]);
+        assert_eq!(solver.solve_with_assumptions(&[a]), SolveResult::Unsat);
+        let (minimal, _) = minimize_assumptions(&mut solver, &[a], 16);
+        assert!(minimal.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_returns_input_core() {
+        let mut solver = Solver::new();
+        let a1 = solver.new_var().positive();
+        let a2 = solver.new_var().positive();
+        let x = solver.new_var();
+        solver.add_clause([!a1, x.positive()]);
+        solver.add_clause([!a2, x.negative()]);
+        solver.add_clause([!a2, x.positive()]);
+        assert_eq!(solver.solve_with_assumptions(&[a1, a2]), SolveResult::Unsat);
+        let (core, stats) = minimize_assumptions(&mut solver, &[a1, a2], 0);
+        assert_eq!(core, vec![a1, a2]);
+        assert!(stats.budget_exhausted);
+    }
+
+    /// Activation-literal hygiene: retiring an activation literal with a
+    /// level-0 unit and simplifying removes its guarded clauses without
+    /// disturbing unrelated state, and fresh activation literals keep
+    /// working afterwards — the retraction pattern incremental sessions
+    /// rely on.
+    #[test]
+    fn retired_activation_literals_survive_simplify() {
+        let mut solver = Solver::new();
+        let act1 = solver.new_var().positive();
+        let act2 = solver.new_var().positive();
+        let x = solver.new_var();
+        let y = solver.new_var();
+        // act1 guards x; act2 guards !x and y.
+        solver.add_clause([!act1, x.positive()]);
+        solver.add_clause([!act2, x.negative()]);
+        solver.add_clause([!act2, y.positive()]);
+
+        assert_eq!(
+            solver.solve_with_assumptions(&[act1, act2]),
+            SolveResult::Unsat
+        );
+        // Retire act2 (pop): its guarded clauses become level-0 satisfied.
+        assert!(solver.add_clause([!act2]));
+        assert!(solver.simplify());
+        // act1 alone is consistent again, and act2's content is gone.
+        assert_eq!(solver.solve_with_assumptions(&[act1]), SolveResult::Sat);
+        assert_eq!(solver.model_value(x), Some(true));
+        // A fresh activation literal re-introduces the retracted content.
+        let act3 = solver.new_var().positive();
+        solver.add_clause([!act3, x.negative()]);
+        assert_eq!(
+            solver.solve_with_assumptions(&[act1, act3]),
+            SolveResult::Unsat
+        );
+        assert_eq!(solver.solve_with_assumptions(&[act3]), SolveResult::Sat);
+        assert_eq!(solver.model_value(x), Some(false));
+        let _ = y;
+    }
+}

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+mod assume;
 mod cancel;
 mod clause;
 mod heap;
@@ -41,6 +42,7 @@ pub mod proof;
 
 pub mod dimacs;
 
+pub use assume::{minimize_assumptions, MinimizeStats};
 pub use cancel::CancelToken;
 pub use lit::{LBool, Lit, Var};
 pub use proof::{check_refutation, Proof, ProofStep};

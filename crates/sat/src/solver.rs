@@ -597,8 +597,14 @@ impl Solver {
                         }
                         LBool::False => {
                             // Conflicting assumption: analyze which earlier
-                            // assumptions force its negation.
-                            self.conflict_assumptions = self.analyze_final(!a);
+                            // assumptions force its negation. The conflicting
+                            // assumption itself belongs in the core — the
+                            // earlier ones only imply its negation.
+                            let mut core = self.analyze_final(!a);
+                            if !core.contains(&a) {
+                                core.push(a);
+                            }
+                            self.conflict_assumptions = core;
                             self.backtrack_to(0);
                             return SolveResult::Unsat;
                         }

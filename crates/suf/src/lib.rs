@@ -38,6 +38,7 @@
 
 mod elim;
 mod eval;
+mod incremental_elim;
 mod memory;
 mod parse;
 mod polarity;
@@ -46,6 +47,7 @@ mod subst;
 mod term;
 
 pub use elim::{contains_applications, eliminate, ElimResult};
+pub use incremental_elim::IncrementalElim;
 pub use eval::{eval, Interpretation, MapInterpretation, Value};
 pub use memory::Memory;
 pub use parse::{parse_formula, parse_problem, ParseSufError};

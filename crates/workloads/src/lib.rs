@@ -28,11 +28,15 @@
 
 mod bench;
 mod families;
+mod systems;
 
 pub use bench::{Benchmark, Domain};
 pub use families::{
     cache_coherence, device_driver, load_store_unit, ooo_invariant, pipeline, random_suf,
     translation_validation,
+};
+pub use systems::{
+    counter_system, ring_system, system_suite, toggle_system, uf_datapath_system, SystemBenchmark,
 };
 
 /// The full 49-benchmark suite: 39 non-invariant-checking formulas plus 10

@@ -1,0 +1,239 @@
+//! Transition-system benchmark families for bounded model checking.
+//!
+//! The formula families in [`crate::families`] exercise one-shot
+//! decisions; BMC instead asks a *sequence* of related queries against
+//! one system, which is exactly the workload the incremental session is
+//! built for. Each family here constructs a [`TransitionSystem`] with a
+//! planted verdict: either the property holds at every checked depth, or
+//! the construction places the first violation at a known step.
+//!
+//! | family | dynamics | regime |
+//! |---|---|---|
+//! | [`toggle_system`] | lanes bouncing between two anchors | equality heavy, safe |
+//! | [`counter_system`] | increment until a planted limit | offsets, counterexample |
+//! | [`uf_datapath_system`] | state folded through UF stages | p-functions, safe |
+//! | [`ring_system`] | modular counter via ITE control | inequalities, safe |
+
+use sufsat_core::TransitionSystem;
+use sufsat_suf::{TermId, TermManager};
+
+/// One BMC benchmark: a transition system in its own term manager plus
+/// the depth to check and the planted verdict.
+///
+/// `Clone` deep-copies the term manager, so a clone can be checked by a
+/// second engine (e.g. incremental vs from-scratch) without interning
+/// interference.
+#[derive(Debug, Clone)]
+pub struct SystemBenchmark {
+    /// Name, e.g. `counter-04`.
+    pub name: String,
+    /// The term manager owning every term of `system`.
+    pub tm: TermManager,
+    /// The transition system.
+    pub system: TransitionSystem,
+    /// Depth to check (inclusive).
+    pub bound: usize,
+    /// Step of the first property violation, when the construction
+    /// plants one within `bound`; `None` means safe at every checked
+    /// depth.
+    pub cex_at: Option<usize>,
+}
+
+/// `lanes` independent values, each bouncing between its own two
+/// anchors; the property says every lane sits on one of its anchors.
+/// Safe at every depth — the per-depth obligations grow linearly and
+/// share almost all structure, the incremental session's best case.
+pub fn toggle_system(lanes: usize) -> SystemBenchmark {
+    assert!(lanes >= 1);
+    let mut tm = TermManager::new();
+    let mut state = Vec::with_capacity(lanes);
+    let mut next = Vec::with_capacity(lanes);
+    let mut init = tm.mk_true();
+    let mut property = tm.mk_true();
+    for i in 0..lanes {
+        let x = tm.int_var(&format!("x{i}"));
+        let lo = tm.int_var(&format!("lo{i}"));
+        let hi = tm.int_var(&format!("hi{i}"));
+        let at_lo = tm.mk_eq(x, lo);
+        let at_hi = tm.mk_eq(x, hi);
+        let step = tm.mk_ite_int(at_lo, hi, lo);
+        let anchored = tm.mk_or(at_lo, at_hi);
+        init = tm.mk_and(init, at_lo);
+        property = tm.mk_and(property, anchored);
+        state.push(x);
+        next.push(step);
+    }
+    let system = TransitionSystem {
+        state,
+        next,
+        inputs: vec![],
+        init,
+        property,
+    };
+    SystemBenchmark {
+        name: format!("toggle-{lanes:02}"),
+        tm,
+        system,
+        bound: 6,
+        cex_at: None,
+    }
+}
+
+/// A counter incremented every step from a symbolic base; the property
+/// `x < base + limit` is violated first at step `limit` exactly. The
+/// pre-violation depths give the session unsatisfiable checks whose
+/// learnt clauses should pay off at later depths.
+pub fn counter_system(limit: usize) -> SystemBenchmark {
+    assert!(limit >= 1);
+    let mut tm = TermManager::new();
+    let x = tm.int_var("x");
+    let base = tm.int_var("base");
+    let next = tm.mk_succ(x);
+    let init = tm.mk_eq(x, base);
+    let cap = tm.mk_offset(base, limit as i64);
+    let property = tm.mk_lt(x, cap);
+    let system = TransitionSystem {
+        state: vec![x],
+        next: vec![next],
+        inputs: vec![],
+        init,
+        property,
+    };
+    SystemBenchmark {
+        name: format!("counter-{limit:02}"),
+        tm,
+        system,
+        bound: limit + 2,
+        cex_at: Some(limit),
+    }
+}
+
+/// Two copies of one value folded through the same `stages`-deep chain
+/// of uninterpreted functions each step; the property that the copies
+/// stay equal holds by functional consistency at every depth. Stresses
+/// the persistent elimination tables (instances accumulate per depth).
+pub fn uf_datapath_system(stages: usize) -> SystemBenchmark {
+    assert!(stages >= 1);
+    let mut tm = TermManager::new();
+    let x = tm.int_var("x");
+    let y = tm.int_var("y");
+    let seed = tm.int_var("seed");
+    let funs: Vec<_> = (0..stages)
+        .map(|i| tm.declare_fun(&format!("f{i}"), 1))
+        .collect();
+    let chain = |tm: &mut TermManager, mut t: TermId| {
+        for &f in &funs {
+            t = tm.mk_app(f, vec![t]);
+        }
+        t
+    };
+    let next_x = chain(&mut tm, x);
+    let next_y = chain(&mut tm, y);
+    let init_x = tm.mk_eq(x, seed);
+    let init_y = tm.mk_eq(y, seed);
+    let init = tm.mk_and(init_x, init_y);
+    let property = tm.mk_eq(x, y);
+    let system = TransitionSystem {
+        state: vec![x, y],
+        next: vec![next_x, next_y],
+        inputs: vec![],
+        init,
+        property,
+    };
+    SystemBenchmark {
+        name: format!("ufdp-{stages:02}"),
+        tm,
+        system,
+        bound: 4,
+        cex_at: None,
+    }
+}
+
+/// A modular counter `x' = (x = z + cap ? z : x + 1)` anchored at a
+/// symbolic zero `z`; the property `z ≤ x ≤ z + cap` holds at every
+/// depth. Inequality-heavy with a bounded range, so separation classes
+/// get real small-domain/EIJ work each depth.
+pub fn ring_system(cap: usize) -> SystemBenchmark {
+    assert!(cap >= 1);
+    let mut tm = TermManager::new();
+    let x = tm.int_var("x");
+    let z = tm.int_var("z");
+    let top = tm.mk_offset(z, cap as i64);
+    let at_top = tm.mk_eq(x, top);
+    let inc = tm.mk_succ(x);
+    let next = tm.mk_ite_int(at_top, z, inc);
+    let init = tm.mk_eq(x, z);
+    let lower = tm.mk_le(z, x);
+    let upper = tm.mk_le(x, top);
+    let property = tm.mk_and(lower, upper);
+    let system = TransitionSystem {
+        state: vec![x],
+        next: vec![next],
+        inputs: vec![],
+        init,
+        property,
+    };
+    SystemBenchmark {
+        name: format!("ring-{cap:02}"),
+        tm,
+        system,
+        bound: 2 * cap + 2,
+        cex_at: None,
+    }
+}
+
+/// The standard BMC comparison suite: two instances per family, with
+/// counterexamples planted at depth ≥ 3 so incremental reuse has
+/// unsatisfiable depths to learn from first.
+pub fn system_suite() -> Vec<SystemBenchmark> {
+    vec![
+        toggle_system(1),
+        toggle_system(3),
+        counter_system(3),
+        counter_system(5),
+        uf_datapath_system(1),
+        uf_datapath_system(2),
+        ring_system(2),
+        ring_system(4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufsat_core::{check_bounded, BmcResult, DecideOptions};
+
+    #[test]
+    fn planted_verdicts_are_reproduced_by_the_reference_engine() {
+        for bench in system_suite() {
+            let mut tm = bench.tm.clone();
+            let result = check_bounded(
+                &mut tm,
+                &bench.system,
+                bench.bound,
+                &DecideOptions::default(),
+            );
+            match bench.cex_at {
+                None => assert!(
+                    matches!(result, BmcResult::Bounded(b) if b == bench.bound),
+                    "{}: expected safe, got {result:?}",
+                    bench.name
+                ),
+                Some(k) => assert!(
+                    matches!(result, BmcResult::CounterexampleAt { step, .. } if step == k),
+                    "{}: expected counterexample at {k}, got {result:?}",
+                    bench.name
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = system_suite().into_iter().map(|b| b.name).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

@@ -28,6 +28,19 @@ SUFSAT_TRACE=target/ci-trace.jsonl ./target/release/paper-eval --timeout 2 fig2
 # The aggregation document must carry its schema marker.
 grep -q '"schema":"sufsat-stages-v1"' target/ci-stages.json
 
+echo "==> incremental: push/pop state machine vs from-scratch decide"
+cargo test -q --release --test incremental_session
+
+echo "==> incremental: traced incremental-vs-scratch BMC + verdict equivalence"
+# fig-incremental hard-errors if the persistent session and the
+# from-scratch engine ever disagree on a verdict.
+rm -f target/ci-incr-trace.jsonl
+SUFSAT_TRACE=target/ci-incr-trace.jsonl \
+    ./target/release/paper-eval --timeout 2 --csv target/ci-incr fig-incremental
+./target/release/paper-eval check-trace target/ci-incr-trace.jsonl
+# The CSV must cover the whole system suite (8 rows + header).
+test "$(wc -l < target/ci-incr/fig-incremental.csv)" -eq 9
+
 echo "==> smoke: differential fuzzing (fixed seed, certified answers)"
 ./target/release/sufsat-fuzz --seed 2026 --cases 200 --quiet \
     --corpus target/fuzz-corpus

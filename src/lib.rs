@@ -13,6 +13,8 @@
 //! * [`core`] — the end-to-end decision procedure ([`decide`])
 //! * [`baselines`] — lazy (CVC-style) and case-splitting (SVC-style)
 //!   comparison procedures
+//! * [`incremental`] — persistent solving sessions with push/pop,
+//!   unsat cores and incremental bounded model checking
 //! * [`workloads`] — the synthetic 49-benchmark suite
 //!
 //! The most common entry points are re-exported at the top level.
@@ -41,6 +43,7 @@
 pub use sufsat_baselines as baselines;
 pub use sufsat_core as core;
 pub use sufsat_encode as encode;
+pub use sufsat_incremental as incremental;
 pub use sufsat_sat as sat;
 pub use sufsat_seplog as seplog;
 pub use sufsat_suf as suf;

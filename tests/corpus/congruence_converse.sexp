@@ -1,0 +1,2 @@
+(vars x y) (funs (f 1))
+(formula (=> (= (f x) (f y)) (= x y)))

@@ -1,0 +1,2 @@
+(vars a b c d)
+(formula (=> (and (= a b) (and (= b c) (= c d))) (= a d)))

@@ -1,0 +1,2 @@
+(vars x y)
+(formula (>= (ite (< x y) y x) y))

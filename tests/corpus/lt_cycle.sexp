@@ -1,0 +1,2 @@
+(vars x y z)
+(formula (not (and (< x y) (and (< y z) (< z x)))))

@@ -1,0 +1,4 @@
+(vars x y z) (bvars b) (funs (f 1))
+(define fx (f x))
+(assume (ite b (= fx y) (= fx z)))
+(prove (or (= fx y) (= fx z)))

@@ -1,0 +1,3 @@
+(vars p q)
+(assume (< p q))
+(prove (< q p))

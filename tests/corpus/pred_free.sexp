@@ -1,0 +1,2 @@
+(vars x y) (preds (p 1))
+(formula (=> (p x) (p y)))

@@ -1,0 +1,2 @@
+(vars x y)
+(formula (or (< x y) (>= x y)))

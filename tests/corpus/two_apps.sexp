@@ -1,0 +1,2 @@
+(vars x y z) (funs (g 2))
+(formula (=> (and (= x y) (= y z)) (= (g x z) (g y z))))
