@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! paper-eval [--timeout SECS] [--septhold N] [--csv DIR] [--jobs N]
-//!            [--trace FILE|stderr]
+//!            [--trace FILE|stderr] [--preprocess]
 //!            [fig2|fig3|fig4|fig5|fig6|fig-portfolio|fig-incremental|threshold|all|dump DIR]
 //! paper-eval report <TRACE> [--stages FILE]
 //! paper-eval check-trace <TRACE>
@@ -24,6 +24,11 @@
 //! `check-trace` validates the wire schema and span nesting, exiting
 //! non-zero on any drift.
 //!
+//! `--preprocess` turns on SatELite-style CNF preprocessing (subsumption,
+//! self-subsuming resolution, bounded variable elimination) in the eager
+//! procedures before SAT search; verdicts must be identical with and
+//! without it (`ci.sh` enforces this on fig2).
+//!
 //! * `threshold` — §4.1: EIJ runtimes on the 16-benchmark training sample,
 //!   variance-minimizing split, automatic `SEP_THOLD` (paper value: 700).
 //! * `fig2` — SD vs EIJ effect on the SAT solver: CNF clauses, conflict
@@ -44,7 +49,7 @@
 
 use std::time::Duration;
 
-use sufsat_bench::{fmt_time, parallel_map, run, Method, RunResult};
+use sufsat_bench::{fmt_time, parallel_map, run_with, Method, RunConfig, RunResult};
 use sufsat_core::{select_threshold, ThresholdSample};
 use sufsat_workloads::{suite, training_sample, Benchmark};
 
@@ -53,9 +58,18 @@ struct Config {
     septhold: Option<usize>,
     csv_dir: Option<std::path::PathBuf>,
     jobs: usize,
+    preprocess: bool,
 }
 
 impl Config {
+    /// Per-run harness knobs derived from the CLI flags.
+    fn run_config(&self) -> RunConfig {
+        RunConfig {
+            preprocess: self.preprocess,
+            ..RunConfig::new(self.timeout)
+        }
+    }
+
     /// Appends `rows` (with a header) to `<csv_dir>/<name>.csv` when CSV
     /// output is enabled.
     fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
@@ -84,6 +98,7 @@ fn main() {
         septhold: None,
         csv_dir: None,
         jobs: 1,
+        preprocess: false,
     };
     let mut command = "all".to_owned();
     let mut args_rest: Option<String> = None;
@@ -107,6 +122,9 @@ fn main() {
             "--jobs" => {
                 let v = args.next().expect("--jobs needs a value");
                 config.jobs = v.parse().expect("--jobs must be an integer");
+            }
+            "--preprocess" => {
+                config.preprocess = true;
             }
             "--trace" => {
                 let v = args.next().expect("--trace needs a path or `stderr`");
@@ -175,6 +193,7 @@ fn main() {
                 septhold: Some(config.septhold.unwrap_or(t)),
                 csv_dir: config.csv_dir.clone(),
                 jobs: config.jobs,
+                preprocess: config.preprocess,
             };
             fig2(&c);
             fig3(&c);
@@ -316,7 +335,7 @@ fn threshold_experiment(config: &Config, verbose: bool) -> usize {
         "benchmark", "nodes", "sep-preds", "EIJ norm"
     );
     let results = parallel_map(training_sample(), config.jobs, |_, mut bench| {
-        run(&mut bench, Method::Eij, config.timeout)
+        run_with(&mut bench, Method::Eij, config.run_config())
     });
     for r in results {
         let norm = r.normalized_time();
@@ -379,8 +398,8 @@ fn fig2(config: &Config) {
     }
     let mut rows: Vec<String> = Vec::new();
     let pairs = parallel_map(benches, config.jobs, |_, mut bench| {
-        let sd = run(&mut bench, Method::Sd, config.timeout);
-        let eij = run(&mut bench, Method::Eij, config.timeout);
+        let sd = run_with(&mut bench, Method::Sd, config.run_config());
+        let eij = run_with(&mut bench, Method::Eij, config.run_config());
         (sd, eij)
     });
     for (sd, eij) in &pairs {
@@ -425,8 +444,8 @@ fn fig3(config: &Config) {
     );
     let mut rows: Vec<(usize, String, RunResult, RunResult)> =
         parallel_map(training_sample(), config.jobs, |_, mut bench| {
-            let sd = run(&mut bench, Method::Sd, config.timeout);
-            let eij = run(&mut bench, Method::Eij, config.timeout);
+            let sd = run_with(&mut bench, Method::Sd, config.run_config());
+            let eij = run_with(&mut bench, Method::Eij, config.run_config());
             (sd.sep_predicates, sd.name.clone(), sd, eij)
         });
     rows.sort_by_key(|r| r.0);
@@ -476,11 +495,14 @@ fn fig3(config: &Config) {
 fn run_table(
     benches: Vec<Benchmark>,
     methods: &[Method],
-    timeout: Duration,
+    run_config: RunConfig,
     jobs: usize,
 ) -> Vec<Vec<RunResult>> {
     parallel_map(benches, jobs, |_, mut bench| {
-        methods.iter().map(|&m| run(&mut bench, m, timeout)).collect()
+        methods
+            .iter()
+            .map(|&m| run_with(&mut bench, m, run_config))
+            .collect()
     })
 }
 
@@ -528,7 +550,7 @@ fn fig4(config: &Config) {
         "Figure 4: HYBRID({threshold}) vs SD and EIJ (39 non-invariant benchmarks)"
     ));
     let methods = [Method::Hybrid(threshold), Method::Sd, Method::Eij];
-    let table = run_table(non_invariant(), &methods, config.timeout, config.jobs);
+    let table = run_table(non_invariant(), &methods, config.run_config(), config.jobs);
     print_table(&methods, &table);
     write_table_csv(config, "fig4", &methods, &table);
     println!("shape check: HYBRID should complete everywhere and dominate overall");
@@ -559,7 +581,7 @@ fn write_table_csv(config: &Config, name: &str, methods: &[Method], table: &[Vec
 fn fig5(config: &Config) {
     banner("Figure 5: invariant-checking benchmarks (SEP_THOLD = 100)");
     let methods = [Method::Hybrid(100), Method::Sd, Method::Eij];
-    let table = run_table(invariant(), &methods, config.timeout, config.jobs);
+    let table = run_table(invariant(), &methods, config.run_config(), config.jobs);
     print_table(&methods, &table);
     write_table_csv(config, "fig5", &methods, &table);
     println!("shape check: SD should win here; EIJ should time out on the large ones");
@@ -571,7 +593,7 @@ fn fig6(config: &Config) {
         "Figure 6: HYBRID({threshold}) vs SVC* and CVC* (39 non-invariant benchmarks)"
     ));
     let methods = [Method::Hybrid(threshold), Method::Svc, Method::Lazy];
-    let table = run_table(non_invariant(), &methods, config.timeout, config.jobs);
+    let table = run_table(non_invariant(), &methods, config.run_config(), config.jobs);
     print_table(&methods, &table);
     write_table_csv(config, "fig6", &methods, &table);
     println!(
@@ -596,7 +618,7 @@ fn fig_portfolio(config: &Config) {
         Method::Sd,
         Method::Eij,
     ];
-    let table = run_table(non_invariant(), &methods, config.timeout, config.jobs);
+    let table = run_table(non_invariant(), &methods, config.run_config(), config.jobs);
     print_table(&methods, &table);
 
     // Winner distribution: which lane carried each portfolio run.

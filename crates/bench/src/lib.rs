@@ -95,6 +95,26 @@ impl RunResult {
     }
 }
 
+/// Harness knobs shared by every method in a run (see [`run_with`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Wall-clock budget per (benchmark, method) pair.
+    pub timeout: Duration,
+    /// Enable SatELite-style CNF preprocessing in the eager procedures
+    /// ([`DecideOptions::preprocess`]); ignored by the lazy/SVC baselines.
+    pub preprocess: bool,
+}
+
+impl RunConfig {
+    /// A config with the given timeout and everything else off.
+    pub fn new(timeout: Duration) -> RunConfig {
+        RunConfig {
+            timeout,
+            preprocess: false,
+        }
+    }
+}
+
 /// Runs `method` on `bench` under `timeout`, checking the answer against
 /// the benchmark's expected validity.
 ///
@@ -104,11 +124,23 @@ impl RunResult {
 /// benchmark's known validity — a soundness bug would invalidate every
 /// measurement, so the harness refuses to continue past one.
 pub fn run(bench: &mut Benchmark, method: Method, timeout: Duration) -> RunResult {
+    run_with(bench, method, RunConfig::new(timeout))
+}
+
+/// [`run`] with explicit harness knobs.
+///
+/// # Panics
+///
+/// Like [`run`], panics on a soundness violation against the benchmark's
+/// known validity.
+pub fn run_with(bench: &mut Benchmark, method: Method, config: RunConfig) -> RunResult {
+    let timeout = config.timeout;
     let label = method.label();
     let span = sufsat_obs::span_with!(
         "bench.run",
         bench = bench.name.as_str(),
-        method = label.as_str()
+        method = label.as_str(),
+        preprocess = config.preprocess,
     );
     let start = Instant::now();
     let dag_size = bench.dag_size();
@@ -137,6 +169,7 @@ pub fn run(bench: &mut Benchmark, method: Method, timeout: Duration) -> RunResul
             };
             let mut options = DecideOptions::with_mode(mode);
             options.timeout = Some(timeout);
+            options.preprocess = config.preprocess;
             // The translation-budget proxy for the paper's EIJ
             // translation-stage timeouts.
             options.trans_budget = 3_000_000;
@@ -167,6 +200,7 @@ pub fn run(bench: &mut Benchmark, method: Method, timeout: Duration) -> RunResul
         Method::Portfolio => {
             let mut base = DecideOptions::default();
             base.timeout = Some(timeout);
+            base.preprocess = config.preprocess;
             base.trans_budget = 3_000_000;
             let options = PortfolioOptions {
                 base,

@@ -51,6 +51,13 @@ pub struct DecideOptions {
     /// [`Decision::certificate`]; certification failures are *reported*
     /// rather than panicked on, so a fuzzing oracle can shrink them.
     pub certify: bool,
+    /// Run SatELite-style CNF preprocessing (subsumption, self-subsuming
+    /// resolution, bounded variable elimination) on the loaded clause set
+    /// before search. Sound in combination with `certify`: under proof
+    /// logging the solver automatically restricts itself to the
+    /// RUP-replayable subset, and `Sat` models are extended over
+    /// eliminated variables before decoding.
+    pub preprocess: bool,
 }
 
 impl Default for DecideOptions {
@@ -63,6 +70,7 @@ impl Default for DecideOptions {
             timeout: None,
             cancel: None,
             certify: false,
+            preprocess: false,
         }
     }
 }
@@ -452,6 +460,14 @@ fn decide_inner(
     );
     drop(load_span);
     stats.cnf_clauses = solver.stats().original_clauses;
+
+    if options.preprocess {
+        // Preprocess before search; under `certify` the solver restricts
+        // itself to proof-compatible simplifications. An inconsistency
+        // found here is a final Unsat answer, which `solve` then reports.
+        solver.set_cancel_token(options.cancel.clone());
+        let _ = solver.preprocess();
+    }
     stats.translate_time = translate_start.elapsed();
 
     solver.set_conflict_budget(options.conflict_budget);

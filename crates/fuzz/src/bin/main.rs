@@ -43,6 +43,7 @@ OPTIONS:
     --no-portfolio      drop the portfolio engine from the panel
     --no-certify        skip model replay and DRAT/RUP proof checking
     --no-shrink         report failures without minimizing them
+    --list-procedures   print the panel for these options and exit
     --quiet             no progress output
     -h, --help          this text
 ";
@@ -51,6 +52,7 @@ struct Cli {
     config: CampaignConfig,
     replay: Vec<PathBuf>,
     print_case: Option<usize>,
+    list_procedures: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -62,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     };
     let mut replay = Vec::new();
     let mut print_case = None;
+    let mut list_procedures = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<&String, String> {
@@ -87,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--no-portfolio" => config.oracle.include_portfolio = false,
             "--no-certify" => config.oracle.certify = false,
             "--no-shrink" => config.shrink = false,
+            "--list-procedures" => list_procedures = true,
             "--quiet" => config.log_every = 0,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
@@ -96,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         config,
         replay,
         print_case,
+        list_procedures,
     })
 }
 
@@ -160,6 +165,13 @@ fn run() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if cli.list_procedures {
+        for p in default_procedures(&cli.config.oracle) {
+            println!("{}", p.name);
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if let Some(case_index) = cli.print_case {
         let seed = sufsat_fuzz::case_seed(cli.config.seed, case_index);

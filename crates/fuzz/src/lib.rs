@@ -386,9 +386,14 @@ mod tests {
         assert!(summary.clean(), "failures: {:#?}", summary.failures);
         assert_eq!(summary.cases_run, 8);
         assert!(summary.definitive_cases >= 6, "{summary:?}");
-        assert_eq!(
-            summary.certified_answers, summary.definitive_answers,
-            "every definitive eager answer must carry a checked certificate"
+        // Every definitive eager answer carries a checked certificate
+        // except the `eager:preprocess` lens, which runs uncertified (at
+        // most one uncertified answer per case) so that bounded variable
+        // elimination is actually exercised.
+        assert!(summary.certified_answers > 0);
+        assert!(
+            summary.certified_answers >= summary.definitive_answers - summary.definitive_cases,
+            "at most one uncertified definitive answer per case: {summary:?}"
         );
     }
 

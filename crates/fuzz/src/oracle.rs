@@ -153,6 +153,34 @@ pub fn default_procedures(options: &OracleOptions) -> Vec<Procedure> {
     .map(|mode| eager_procedure(mode, options))
     .collect();
 
+    {
+        // Eleventh lens: the default hybrid with SatELite-style CNF
+        // preprocessing (subsumption, self-subsuming resolution, bounded
+        // variable elimination with model reconstruction). Certification
+        // is left off so elimination actually runs — under proof logging
+        // the solver restricts itself to the RUP-replayable subset — and
+        // wrong reconstructed models still abort via the counterexample
+        // replay assertions inside `decide`.
+        let opts = DecideOptions {
+            trans_budget: options.trans_budget,
+            timeout: Some(options.timeout),
+            certify: false,
+            preprocess: true,
+            ..DecideOptions::default()
+        };
+        procs.push(Procedure {
+            name: "eager:preprocess".to_string(),
+            run: Box::new(move |tm, phi| {
+                let mut tm = tm.clone();
+                let decision = decide(&mut tm, phi, &opts);
+                Ok(ProcedureAnswer {
+                    verdict: Verdict::from(&decision.outcome),
+                    certified: false,
+                })
+            }),
+        });
+    }
+
     if options.include_baselines {
         let lazy_opts = LazyOptions {
             timeout: Some(options.timeout),
@@ -460,7 +488,11 @@ mod tests {
     fn panel_agrees_on_simple_formulas() {
         let options = OracleOptions::default();
         let procs = default_procedures(&options);
-        assert_eq!(procs.len(), 10);
+        assert_eq!(procs.len(), 11);
+        assert!(
+            procs.iter().any(|p| p.name == "eager:preprocess"),
+            "the preprocessing lens must be on the panel"
+        );
         let cases = [
             ("(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))", Verdict::Valid),
             ("(vars x y) (funs (f 1)) (formula (=> (= (f x) (f y)) (= x y)))", Verdict::Invalid),

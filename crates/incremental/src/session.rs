@@ -422,6 +422,9 @@ impl Session {
                 assertion.act.expect("checked above")
             } else {
                 let act = self.solver.new_var().positive();
+                // Activation literals are assumed on every check and retired
+                // by a unit clause on pop: they must survive preprocessing.
+                self.solver.set_frozen(act.var(), true);
                 self.loader
                     .load_guarded(self.enc.circuit(), act, delta.roots[i], &mut self.solver);
                 assertion.act = Some(act);
@@ -433,6 +436,14 @@ impl Session {
             acts.push(act);
         }
         stats.cnf_clauses = self.solver.stats().original_clauses;
+
+        // Preprocess only on the base frame: push/pop guards clauses with
+        // activation literals whose eventual retirement would invalidate
+        // elimination bookkeeping wholesale, so scoped sessions skip it.
+        if self.options.preprocess && self.frames.is_empty() {
+            self.solver.set_cancel_token(self.options.cancel.clone());
+            let _ = self.solver.preprocess();
+        }
         stats.translate_time = translate_start.elapsed();
 
         let before = self.solver.stats().clone();

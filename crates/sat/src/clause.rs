@@ -1,34 +1,47 @@
-//! Clause storage for the CDCL solver.
+//! Clause storage for the CDCL solver: a flat, contiguous `u32` arena.
+//!
+//! Clauses live inline in a single `Vec<u32>` (MiniSat-style): a small
+//! header followed by the literals, with a [`ClauseRef`] being the word
+//! offset of the header. Propagation therefore walks one cache-friendly
+//! buffer instead of chasing a `Vec<Vec<Lit>>` pointer per clause.
+//! Removal tombstones the clause in place; the wasted space is reclaimed
+//! by a compacting garbage collection (see `Solver::garbage_collect`)
+//! that relocates live clauses into a fresh arena and leaves forwarding
+//! addresses behind so watchers, reasons and the learnt list can be
+//! rewritten.
 
 use crate::lit::Lit;
 
-/// Index of a clause inside the solver's clause database.
+/// Reference to a clause: the word offset of its header inside the arena.
 pub(crate) type ClauseRef = u32;
 
 /// Sentinel meaning "no reason clause" for decision/unassigned variables.
 pub(crate) const NO_REASON: ClauseRef = u32::MAX;
 
-/// A stored clause with CDCL bookkeeping.
-#[derive(Debug, Clone)]
-pub(crate) struct Clause {
-    pub(crate) lits: Vec<Lit>,
-    /// Learnt (conflict) clause vs. original problem clause.
-    pub(crate) learnt: bool,
-    /// Bump-and-decay activity used by DB reduction.
-    pub(crate) activity: f64,
-    /// Literal-block distance at learning time (glue).
-    pub(crate) lbd: u32,
-    /// Tombstone flag: the slot is free for reuse.
-    pub(crate) removed: bool,
-}
+/// Words preceding the literals of every clause:
+/// `[header, lbd | forward, activity]`.
+const HEADER_WORDS: usize = 3;
 
-/// The clause database: an arena of clauses with a free list so that removed
-/// learnt clauses can be recycled without invalidating other [`ClauseRef`]s.
+// Header bit layout: `size << 3 | relocated << 2 | removed << 1 | learnt`.
+const FLAG_LEARNT: u32 = 0b001;
+const FLAG_REMOVED: u32 = 0b010;
+const FLAG_RELOCATED: u32 = 0b100;
+const SIZE_SHIFT: u32 = 3;
+
+/// The clause database: one flat `u32` arena plus the learnt-clause index.
+///
+/// Tombstoned clauses keep their header (and size) so the arena stays
+/// walkable; [`ClauseDb::wants_gc`] reports when enough words are wasted
+/// that compaction pays off.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct ClauseDb {
-    clauses: Vec<Clause>,
-    free: Vec<ClauseRef>,
-    /// Live learnt-clause refs (may contain stale entries cleaned at reduce).
+    data: Vec<u32>,
+    /// Words occupied by tombstoned clauses.
+    wasted: usize,
+    /// Live clause count.
+    live: usize,
+    /// Live learnt-clause refs (may contain stale entries cleaned at
+    /// reduce/GC time).
     pub(crate) learnts: Vec<ClauseRef>,
 }
 
@@ -37,63 +50,152 @@ impl ClauseDb {
         ClauseDb::default()
     }
 
-    /// Allocates a clause and returns its reference.
-    pub(crate) fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
-        let clause = Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-            lbd,
-            removed: false,
-        };
-        let cref = if let Some(cref) = self.free.pop() {
-            self.clauses[cref as usize] = clause;
-            cref
-        } else {
-            let cref = self.clauses.len() as ClauseRef;
-            self.clauses.push(clause);
-            cref
-        };
+    /// Allocates a clause at the end of the arena and returns its reference.
+    pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(!lits.is_empty());
+        let cref = ClauseRef::try_from(self.data.len()).expect("clause arena overflow");
+        let header = ((lits.len() as u32) << SIZE_SHIFT) | if learnt { FLAG_LEARNT } else { 0 };
+        self.data.reserve(HEADER_WORDS + lits.len());
+        self.data.push(header);
+        self.data.push(lbd);
+        self.data.push(0f32.to_bits());
+        self.data.extend(lits.iter().map(|l| l.index() as u32));
+        self.live += 1;
         if learnt {
             self.learnts.push(cref);
         }
         cref
     }
 
-    /// Marks a clause removed and recycles its slot.
+    /// Tombstones a clause. Its slot stays walkable (the size is kept) but
+    /// the words count as wasted until the next compaction.
     pub(crate) fn remove(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref as usize];
-        debug_assert!(!c.removed, "double removal of clause {cref}");
-        c.removed = true;
-        c.lits.clear();
-        self.free.push(cref);
+        let h = self.data[cref as usize];
+        debug_assert_eq!(h & (FLAG_REMOVED | FLAG_RELOCATED), 0, "double removal of {cref}");
+        self.data[cref as usize] = h | FLAG_REMOVED;
+        self.wasted += HEADER_WORDS + (h >> SIZE_SHIFT) as usize;
+        self.live -= 1;
     }
 
-    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
-        &self.clauses[cref as usize]
+    #[inline]
+    pub(crate) fn is_removed(&self, cref: ClauseRef) -> bool {
+        self.data[cref as usize] & FLAG_REMOVED != 0
     }
 
-    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
-        &mut self.clauses[cref as usize]
+    #[inline]
+    pub(crate) fn learnt(&self, cref: ClauseRef) -> bool {
+        self.data[cref as usize] & FLAG_LEARNT != 0
+    }
+
+    /// Number of literals in the clause.
+    #[inline]
+    pub(crate) fn size(&self, cref: ClauseRef) -> usize {
+        (self.data[cref as usize] >> SIZE_SHIFT) as usize
+    }
+
+    /// The `k`-th literal of the clause.
+    #[inline]
+    pub(crate) fn lit(&self, cref: ClauseRef, k: usize) -> Lit {
+        debug_assert!(k < self.size(cref));
+        Lit::from_index(self.data[cref as usize + HEADER_WORDS + k] as usize)
+    }
+
+    /// Swaps two literal slots of the clause (watch normalization).
+    #[inline]
+    pub(crate) fn swap_lits(&mut self, cref: ClauseRef, a: usize, b: usize) {
+        let base = cref as usize + HEADER_WORDS;
+        self.data.swap(base + a, base + b);
+    }
+
+    /// The clause's literals, copied out (cold paths: proofs, simplify).
+    pub(crate) fn lits_vec(&self, cref: ClauseRef) -> Vec<Lit> {
+        let base = cref as usize + HEADER_WORDS;
+        self.data[base..base + self.size(cref)]
+            .iter()
+            .map(|&w| Lit::from_index(w as usize))
+            .collect()
+    }
+
+    #[inline]
+    pub(crate) fn lbd(&self, cref: ClauseRef) -> u32 {
+        self.data[cref as usize + 1]
+    }
+
+    #[inline]
+    pub(crate) fn activity(&self, cref: ClauseRef) -> f32 {
+        f32::from_bits(self.data[cref as usize + 2])
+    }
+
+    #[inline]
+    pub(crate) fn set_activity(&mut self, cref: ClauseRef, activity: f32) {
+        self.data[cref as usize + 2] = activity.to_bits();
     }
 
     /// Number of live clauses.
     pub(crate) fn len(&self) -> usize {
-        self.clauses.len() - self.free.len()
-    }
-
-    /// Number of allocated slots (live or tombstoned); valid [`ClauseRef`]s
-    /// are below this.
-    pub(crate) fn raw_len(&self) -> usize {
-        self.clauses.len()
+        self.live
     }
 
     /// Number of live learnt clauses.
     pub(crate) fn num_learnts(&self) -> usize {
         self.learnts
             .iter()
-            .filter(|&&c| !self.clauses[c as usize].removed && self.clauses[c as usize].learnt)
+            .filter(|&&c| !self.is_removed(c) && self.learnt(c))
             .count()
+    }
+
+    /// All clause refs in the arena, live and tombstoned alike, in
+    /// allocation order.
+    pub(crate) fn crefs(&self) -> Vec<ClauseRef> {
+        let mut out = Vec::with_capacity(self.live);
+        let mut at = 0usize;
+        while at < self.data.len() {
+            out.push(at as ClauseRef);
+            at += HEADER_WORDS + (self.data[at] >> SIZE_SHIFT) as usize;
+        }
+        out
+    }
+
+    /// Arena size in words (live + wasted).
+    pub(crate) fn arena_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Words currently tombstoned.
+    pub(crate) fn wasted_words(&self) -> usize {
+        self.wasted
+    }
+
+    /// Whether enough of the arena is tombstoned that compaction pays off
+    /// (MiniSat's 20% rule).
+    pub(crate) fn wants_gc(&self) -> bool {
+        self.wasted * 5 > self.data.len()
+    }
+
+    /// Relocates `cref` into `to`, leaving a forwarding address behind so
+    /// further relocations of the same clause return the same new ref.
+    pub(crate) fn reloc(&mut self, cref: ClauseRef, to: &mut ClauseDb) -> ClauseRef {
+        let h = self.data[cref as usize];
+        if h & FLAG_RELOCATED != 0 {
+            return self.data[cref as usize + 1];
+        }
+        debug_assert_eq!(h & FLAG_REMOVED, 0, "relocating a tombstoned clause {cref}");
+        let size = (h >> SIZE_SHIFT) as usize;
+        let new = ClauseRef::try_from(to.data.len()).expect("clause arena overflow");
+        to.data
+            .extend_from_slice(&self.data[cref as usize..cref as usize + HEADER_WORDS + size]);
+        to.live += 1;
+        self.data[cref as usize] = h | FLAG_RELOCATED;
+        self.data[cref as usize + 1] = new;
+        new
+    }
+
+    /// Installs the compacted arena produced by a relocation pass.
+    pub(crate) fn finish_gc(&mut self, to: ClauseDb, learnts: Vec<ClauseRef>) {
+        self.data = to.data;
+        self.live = to.live;
+        self.wasted = 0;
+        self.learnts = learnts;
     }
 }
 
@@ -117,18 +219,65 @@ mod tests {
     }
 
     #[test]
-    fn alloc_and_recycle() {
+    fn alloc_and_tombstone() {
         let mut db = ClauseDb::new();
-        let a = db.alloc(lits(&[1, 2]), false, 0);
-        let b = db.alloc(lits(&[2, 3]), true, 2);
+        let a = db.alloc(&lits(&[1, 2]), false, 0);
+        let b = db.alloc(&lits(&[2, 3, 4]), true, 2);
         assert_eq!(db.len(), 2);
         assert_eq!(db.num_learnts(), 1);
+        assert_eq!(db.size(b), 3);
+        assert_eq!(db.lits_vec(b), lits(&[2, 3, 4]));
         db.remove(b);
         assert_eq!(db.len(), 1);
-        let c = db.alloc(lits(&[4]), false, 0);
-        assert_eq!(c, b, "freed slot is recycled");
+        assert!(db.is_removed(b));
+        assert!(!db.is_removed(a));
+        assert_eq!(db.wasted_words(), HEADER_WORDS + 3);
+        // Tombstones keep their size so the arena stays walkable.
+        assert_eq!(db.crefs(), vec![a, b]);
+    }
+
+    #[test]
+    fn reloc_compacts_and_forwards() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[1, 2]), false, 0);
+        let b = db.alloc(&lits(&[2, 3]), true, 2);
+        let c = db.alloc(&lits(&[3, 4]), false, 0);
+        db.set_activity(b, 1.5);
+        db.remove(a);
+        let mut to = ClauseDb::new();
+        let nb = db.reloc(b, &mut to);
+        let nc = db.reloc(c, &mut to);
+        // A second relocation returns the forwarding address.
+        assert_eq!(db.reloc(b, &mut to), nb);
+        db.finish_gc(to, vec![nb]);
         assert_eq!(db.len(), 2);
-        assert!(!db.get(a).removed);
-        assert_eq!(db.get(c).lits, lits(&[4]));
+        assert_eq!(db.wasted_words(), 0);
+        assert_eq!(db.lits_vec(nb), lits(&[2, 3]));
+        assert_eq!(db.lits_vec(nc), lits(&[3, 4]));
+        assert!(db.learnt(nb));
+        assert_eq!(db.lbd(nb), 2);
+        assert_eq!(db.activity(nb), 1.5);
+        assert!(!db.learnt(nc));
+        assert_eq!(db.num_learnts(), 1);
+    }
+
+    #[test]
+    fn gc_threshold_tracks_waste() {
+        let mut db = ClauseDb::new();
+        let refs: Vec<ClauseRef> = (0..10).map(|_| db.alloc(&lits(&[1, 2, 3]), false, 0)).collect();
+        assert!(!db.wants_gc());
+        for &r in &refs[..5] {
+            db.remove(r);
+        }
+        assert!(db.wants_gc());
+    }
+
+    #[test]
+    fn activity_round_trips_through_bits() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[1, 2]), true, 1);
+        assert_eq!(db.activity(a), 0.0);
+        db.set_activity(a, 3.25e10);
+        assert_eq!(db.activity(a), 3.25e10);
     }
 }

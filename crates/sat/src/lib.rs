@@ -35,6 +35,7 @@ mod cancel;
 mod clause;
 mod heap;
 mod lit;
+mod preprocess;
 mod solver;
 mod stats;
 

@@ -93,12 +93,12 @@ impl Default for Config {
 #[derive(Debug)]
 pub struct Solver {
     config: Config,
-    db: ClauseDb,
-    watches: Vec<Vec<Watcher>>,
-    assigns: Vec<LBool>,
-    level: Vec<u32>,
-    reason: Vec<ClauseRef>,
-    trail: Vec<Lit>,
+    pub(crate) db: ClauseDb,
+    pub(crate) watches: Vec<Vec<Watcher>>,
+    pub(crate) assigns: Vec<LBool>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<ClauseRef>,
+    pub(crate) trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
     activity: Vec<f64>,
@@ -111,8 +111,16 @@ pub struct Solver {
     analyze_stack: Vec<Lit>,
     analyze_clear: Vec<Var>,
     /// False once the clause set is known unsatisfiable at level 0.
-    ok: bool,
-    model: Vec<bool>,
+    pub(crate) ok: bool,
+    pub(crate) model: Vec<bool>,
+    /// Variables protected from preprocessing elimination.
+    pub(crate) frozen: Vec<bool>,
+    /// Variables eliminated by preprocessing (no live clause mentions them).
+    pub(crate) eliminated: Vec<bool>,
+    /// Clauses removed by variable elimination, in elimination order; used
+    /// for model reconstruction and for restoring a variable when later
+    /// clauses or assumptions mention it again.
+    pub(crate) elim_records: Vec<crate::preprocess::ElimRecord>,
     /// Assumptions of the current `solve_with_assumptions` call.
     assumptions: Vec<Lit>,
     /// Failed-assumption subset from the last assumption-UNSAT answer.
@@ -122,7 +130,7 @@ pub struct Solver {
     /// UNSAT answers can be replayed through the RUP checker without the
     /// caller tracking clauses itself.
     input_clauses: Vec<Vec<Lit>>,
-    stats: Stats,
+    pub(crate) stats: Stats,
     conflict_budget: Option<u64>,
     timeout: Option<Duration>,
     cancel: Option<CancelToken>,
@@ -165,6 +173,9 @@ impl Solver {
             analyze_clear: Vec::new(),
             ok: true,
             model: Vec::new(),
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_records: Vec::new(),
             assumptions: Vec::new(),
             conflict_assumptions: Vec::new(),
             proof: None,
@@ -187,6 +198,8 @@ impl Solver {
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap.grow_to(self.assigns.len());
@@ -258,13 +271,13 @@ impl Solver {
         Some(ok)
     }
 
-    fn proof_add(&mut self, clause: &[Lit]) {
+    pub(crate) fn proof_add(&mut self, clause: &[Lit]) {
         if let Some(p) = self.proof.as_mut() {
             p.add(clause);
         }
     }
 
-    fn proof_delete(&mut self, clause: &[Lit]) {
+    pub(crate) fn proof_delete(&mut self, clause: &[Lit]) {
         if let Some(p) = self.proof.as_mut() {
             p.delete(clause);
         }
@@ -293,7 +306,7 @@ impl Solver {
     }
 
     #[inline]
-    fn cancel_requested(&self) -> bool {
+    pub(crate) fn cancel_requested(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
@@ -315,18 +328,34 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        // Adding clauses is only sound at decision level 0.
-        self.backtrack_to(0);
-        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        let clause: Vec<Lit> = lits.into_iter().collect();
         for l in &clause {
             assert!(
                 l.var().index() < self.assigns.len(),
                 "literal {l} refers to an unknown variable; call new_var first"
             );
         }
+        // Incremental additions may mention variables eliminated by
+        // preprocessing; restoring their saved clauses first keeps the
+        // clause set equivalent (see `preprocess` module docs).
+        self.restore_mentioned(&clause);
         if self.proof.is_some() {
             self.input_clauses.push(clause.clone());
         }
+        self.add_clause_core(clause, true)
+    }
+
+    /// Shared tail of [`Solver::add_clause`] and elimination restore:
+    /// backtracks to level 0, simplifies the clause against the top-level
+    /// assignment and stores it. `count_original` controls whether the
+    /// clause counts toward the original-clause statistic (restored
+    /// elimination clauses were already counted when first added).
+    pub(crate) fn add_clause_core(&mut self, mut clause: Vec<Lit>, count_original: bool) -> bool {
+        if !self.ok {
+            return false;
+        }
+        // Adding clauses is only sound at decision level 0.
+        self.backtrack_to(0);
         clause.sort_unstable();
         clause.dedup();
         // Drop tautologies and literals false at level 0.
@@ -347,7 +376,9 @@ impl Solver {
             // the derived version so DRAT checking sees it added.
             self.proof_add(&clause.clone());
         }
-        self.stats.original_clauses += 1;
+        if count_original {
+            self.stats.original_clauses += 1;
+        }
         match clause.len() {
             0 => {
                 if before == 0 {
@@ -368,7 +399,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let cref = self.db.alloc(clause, false, 0);
+                let cref = self.db.alloc(&clause, false, 0);
                 self.attach(cref);
                 true
             }
@@ -391,14 +422,14 @@ impl Solver {
             self.proof_add(&[]);
             return false;
         }
-        let crefs: Vec<ClauseRef> = (0..self.db.raw_len() as ClauseRef)
-            .filter(|&c| {
-                let cl = self.db.get(c);
-                !cl.removed && cl.lits.len() >= 2
-            })
+        let crefs: Vec<ClauseRef> = self
+            .db
+            .crefs()
+            .into_iter()
+            .filter(|&c| !self.db.is_removed(c) && self.db.size(c) >= 2)
             .collect();
         for cref in crefs {
-            let lits = self.db.get(cref).lits.clone();
+            let lits = self.db.lits_vec(cref);
             if lits.iter().any(|&l| self.value(l) == LBool::True) {
                 // Satisfied forever: drop it.
                 if !self.locked(cref) {
@@ -420,8 +451,8 @@ impl Solver {
             self.proof_add(&kept);
             self.proof_delete(&lits);
             self.detach(cref);
-            let learnt = self.db.get(cref).learnt;
-            let lbd = self.db.get(cref).lbd;
+            let learnt = self.db.learnt(cref);
+            let lbd = self.db.lbd(cref);
             self.db.remove(cref);
             match kept.len() {
                 0 => {
@@ -439,11 +470,12 @@ impl Solver {
                     }
                 }
                 _ => {
-                    let new_ref = self.db.alloc(kept, learnt, lbd);
+                    let new_ref = self.db.alloc(&kept, learnt, lbd);
                     self.attach(new_ref);
                 }
             }
         }
+        self.maybe_gc();
         true
     }
 
@@ -461,6 +493,10 @@ impl Solver {
     /// subset of the assumptions sufficient for the conflict, and the
     /// solver remains usable with different assumptions afterwards.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        // An assumption over an eliminated variable forces its saved
+        // clauses back in first, so the assumption actually constrains
+        // the search (see the `preprocess` module).
+        self.restore_mentioned(assumptions);
         let span = sufsat_obs::span_with!(
             "sat.solve",
             vars = self.num_vars(),
@@ -615,6 +651,7 @@ impl Solver {
                     None => {
                         // All variables assigned: satisfying assignment.
                         self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
+                        self.extend_model();
                         self.backtrack_to(0);
                         return SolveResult::Sat;
                     }
@@ -656,11 +693,11 @@ impl Solver {
         self.config.restart_base * luby(self.restarts_done)
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn value(&self, l: Lit) -> LBool {
+    pub(crate) fn value(&self, l: Lit) -> LBool {
         let v = self.assigns[l.var().index()];
         if l.is_positive() {
             v
@@ -669,7 +706,7 @@ impl Solver {
         }
     }
 
-    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+    pub(crate) fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
         debug_assert_eq!(self.value(l), LBool::Undef);
         let v = l.var();
         self.assigns[v.index()] = LBool::from_bool(l.is_positive());
@@ -678,21 +715,17 @@ impl Solver {
         self.trail.push(l);
     }
 
-    fn attach(&mut self, cref: ClauseRef) {
-        let (w0, w1, b0, b1) = {
-            let c = self.db.get(cref);
-            debug_assert!(c.lits.len() >= 2);
-            (c.lits[0], c.lits[1], c.lits[1], c.lits[0])
-        };
-        self.watches[(!w0).index()].push(Watcher { cref, blocker: b0 });
-        self.watches[(!w1).index()].push(Watcher { cref, blocker: b1 });
+    pub(crate) fn attach(&mut self, cref: ClauseRef) {
+        debug_assert!(self.db.size(cref) >= 2);
+        let w0 = self.db.lit(cref, 0);
+        let w1 = self.db.lit(cref, 1);
+        self.watches[(!w0).index()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).index()].push(Watcher { cref, blocker: w0 });
     }
 
-    fn detach(&mut self, cref: ClauseRef) {
-        let (w0, w1) = {
-            let c = self.db.get(cref);
-            (c.lits[0], c.lits[1])
-        };
+    pub(crate) fn detach(&mut self, cref: ClauseRef) {
+        let w0 = self.db.lit(cref, 0);
+        let w1 = self.db.lit(cref, 1);
         self.watches[(!w0).index()].retain(|w| w.cref != cref);
         self.watches[(!w1).index()].retain(|w| w.cref != cref);
     }
@@ -700,7 +733,7 @@ impl Solver {
     /// Two-watched-literal Boolean constraint propagation.
     ///
     /// Returns the conflicting clause, if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -717,15 +750,13 @@ impl Solver {
                     continue;
                 }
                 let false_lit = !p;
-                let (first, len) = {
-                    let c = self.db.get_mut(w.cref);
-                    // Normalize so the false literal is at position 1.
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
-                    (c.lits[0], c.lits.len())
-                };
+                // Normalize so the false literal is at position 1.
+                if self.db.lit(w.cref, 0) == false_lit {
+                    self.db.swap_lits(w.cref, 0, 1);
+                }
+                debug_assert_eq!(self.db.lit(w.cref, 1), false_lit);
+                let first = self.db.lit(w.cref, 0);
+                let len = self.db.size(w.cref);
                 if first != w.blocker && self.value(first) == LBool::True {
                     watchers[i].blocker = first;
                     i += 1;
@@ -733,10 +764,9 @@ impl Solver {
                 }
                 // Look for a new literal to watch.
                 for k in 2..len {
-                    let lk = self.db.get(w.cref).lits[k];
+                    let lk = self.db.lit(w.cref, k);
                     if self.value(lk) != LBool::False {
-                        let c = self.db.get_mut(w.cref);
-                        c.lits.swap(1, k);
+                        self.db.swap_lits(w.cref, 1, k);
                         self.watches[(!lk).index()].push(Watcher {
                             cref: w.cref,
                             blocker: first,
@@ -785,10 +815,10 @@ impl Solver {
 
         loop {
             self.bump_clause(confl);
-            let nlits = self.db.get(confl).lits.len();
+            let nlits = self.db.size(confl);
             let skip = usize::from(p.is_some());
             for k in skip..nlits {
-                let q = self.db.get(confl).lits[k];
+                let q = self.db.lit(confl, k);
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -880,9 +910,9 @@ impl Solver {
             if reason == NO_REASON {
                 out.push(q);
             } else {
-                let n = self.db.get(reason).lits.len();
+                let n = self.db.size(reason);
                 for k in 1..n {
-                    let r = self.db.get(reason).lits[k];
+                    let r = self.db.lit(reason, k);
                     if self.level[r.var().index()] > 0 {
                         seen[r.var().index()] = true;
                     }
@@ -901,9 +931,9 @@ impl Solver {
         while let Some(q) = self.analyze_stack.pop() {
             let reason = self.reason[q.var().index()];
             debug_assert_ne!(reason, NO_REASON);
-            let nlits = self.db.get(reason).lits.len();
+            let nlits = self.db.size(reason);
             for k in 1..nlits {
-                let r = self.db.get(reason).lits[k];
+                let r = self.db.lit(reason, k);
                 let v = r.var();
                 if self.seen[v.index()] || self.level[v.index()] == 0 {
                     continue;
@@ -934,14 +964,14 @@ impl Solver {
             self.enqueue(asserting, NO_REASON);
         } else {
             self.stats.learnt_clauses += 1;
-            let cref = self.db.alloc(learnt, true, lbd);
+            let cref = self.db.alloc(&learnt, true, lbd);
             self.bump_clause(cref);
             self.attach(cref);
             self.enqueue(asserting, cref);
         }
     }
 
-    fn backtrack_to(&mut self, level: u32) {
+    pub(crate) fn backtrack_to(&mut self, level: u32) {
         if self.decision_level() <= level {
             return;
         }
@@ -980,18 +1010,19 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let c = self.db.get_mut(cref);
-        if !c.learnt {
+        if !self.db.learnt(cref) {
             return;
         }
-        c.activity += self.clause_inc;
-        if c.activity > 1e20 {
+        let bumped = self.db.activity(cref) + self.clause_inc as f32;
+        self.db.set_activity(cref, bumped);
+        if bumped > 1e20 {
             self.clause_inc *= 1e-20;
-            for &lc in &self.db.learnts.clone() {
-                let c = self.db.get_mut(lc);
-                if c.learnt && !c.removed {
-                    c.activity *= 1e-20;
+            for lc in std::mem::take(&mut self.db.learnts) {
+                if self.db.learnt(lc) && !self.db.is_removed(lc) {
+                    let a = self.db.activity(lc);
+                    self.db.set_activity(lc, a * 1e-20);
                 }
+                self.db.learnts.push(lc);
             }
         }
     }
@@ -1002,12 +1033,11 @@ impl Solver {
     }
 
     /// Whether `cref` is the reason for its first literal's assignment.
-    fn locked(&self, cref: ClauseRef) -> bool {
-        let c = self.db.get(cref);
-        if c.lits.is_empty() {
+    pub(crate) fn locked(&self, cref: ClauseRef) -> bool {
+        if self.db.size(cref) == 0 {
             return false;
         }
-        let v = c.lits[0].var();
+        let v = self.db.lit(cref, 0).var();
         self.reason[v.index()] == cref && self.assigns[v.index()].is_assigned()
     }
 
@@ -1021,34 +1051,80 @@ impl Solver {
             .learnts
             .iter()
             .copied()
-            .filter(|&c| {
-                let cl = self.db.get(c);
-                cl.learnt && !cl.removed
-            })
+            .filter(|&c| self.db.learnt(c) && !self.db.is_removed(c))
             .collect();
         live.sort_by(|&a, &b| {
-            let ca = self.db.get(a);
-            let cb = self.db.get(b);
-            ca.lbd.cmp(&cb.lbd).then(
-                cb.activity
-                    .partial_cmp(&ca.activity)
+            self.db.lbd(a).cmp(&self.db.lbd(b)).then(
+                self.db
+                    .activity(b)
+                    .partial_cmp(&self.db.activity(a))
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
         let keep_from = live.len() / 2;
         let mut kept: Vec<ClauseRef> = live[..keep_from].to_vec();
         for &cref in &live[keep_from..] {
-            let c = self.db.get(cref);
-            if c.lits.len() <= 2 || c.lbd <= 2 || self.locked(cref) {
+            if self.db.size(cref) <= 2 || self.db.lbd(cref) <= 2 || self.locked(cref) {
                 kept.push(cref);
                 continue;
             }
-            let lits = self.db.get(cref).lits.clone();
+            let lits = self.db.lits_vec(cref);
             self.proof_delete(&lits);
             self.detach(cref);
             self.db.remove(cref);
         }
         self.db.learnts = kept;
+        self.maybe_gc();
+    }
+
+    /// Runs a compacting arena collection when enough of it is tombstoned.
+    pub(crate) fn maybe_gc(&mut self) {
+        if self.db.wants_gc() {
+            self.garbage_collect();
+        }
+    }
+
+    /// Compacts the clause arena: relocates every live clause into a fresh
+    /// arena and rewrites all [`ClauseRef`] holders — watch lists, reason
+    /// slots of assigned variables, and the learnt-clause list.
+    fn garbage_collect(&mut self) {
+        static GC_RUNS: sufsat_obs::Counter = sufsat_obs::Counter::new("sat.gc.runs");
+        static GC_BYTES: sufsat_obs::Counter =
+            sufsat_obs::Counter::new("sat.gc.bytes_reclaimed");
+        let before_words = self.db.arena_words();
+        let wasted_words = self.db.wasted_words();
+        let mut to = ClauseDb::new();
+        for wl in &mut self.watches {
+            for w in wl.iter_mut() {
+                w.cref = self.db.reloc(w.cref, &mut to);
+            }
+        }
+        for vi in 0..self.reason.len() {
+            let r = self.reason[vi];
+            if r != NO_REASON {
+                // Reason slots are reset on backtrack, so a non-sentinel
+                // entry always points at a live (locked) clause.
+                self.reason[vi] = self.db.reloc(r, &mut to);
+            }
+        }
+        let old_learnts = std::mem::take(&mut self.db.learnts);
+        let learnts: Vec<ClauseRef> = old_learnts
+            .into_iter()
+            .filter_map(|c| {
+                (!self.db.is_removed(c)).then(|| self.db.reloc(c, &mut to))
+            })
+            .collect();
+        let reclaimed_bytes = (before_words - to.arena_words()) * 4;
+        sufsat_obs::event!(
+            "sat.gc",
+            arena_words = before_words,
+            wasted_words = wasted_words,
+            reclaimed_bytes = reclaimed_bytes,
+        );
+        self.db.finish_gc(to, learnts);
+        self.stats.gc_runs += 1;
+        GC_RUNS.incr();
+        GC_BYTES.add(reclaimed_bytes as u64);
     }
 }
 
@@ -1561,5 +1637,60 @@ mod tests {
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().reductions > 0, "reduction should have triggered");
+    }
+
+    #[test]
+    fn reduce_db_gc_keeps_search_consistent() {
+        // Aggressive reduction tombstones enough learnt clauses that the
+        // arena compacts mid-run; watchers/reasons/learnts must survive.
+        let mut config = Config::default();
+        config.first_reduce = 10;
+        config.reduce_increment = 10;
+        let mut s = Solver::with_config(config);
+        let holes = 7;
+        let pigeons = holes + 1;
+        let grid: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| grid[p][h].positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause([grid[p1][h].negative(), grid[p2][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().gc_runs > 0, "arena GC should have triggered");
+    }
+
+    #[test]
+    fn simplify_gc_rewrites_watchers_and_solving_continues() {
+        let mut s = Solver::new();
+        let vs = nvars(&mut s, 20);
+        let sat_lit = vs[0].positive();
+        // Fat clauses that all become satisfied (tombstoned) at once.
+        for i in 1..19 {
+            s.add_clause([sat_lit, vs[i].positive(), vs[i + 1].negative()]);
+        }
+        // A live implication chain v1 -> v2 -> ... -> v5.
+        for w in vs[1..6].windows(2) {
+            s.add_clause([w[0].negative(), w[1].positive()]);
+        }
+        s.add_clause([sat_lit]);
+        assert!(s.simplify());
+        assert!(s.stats().gc_runs >= 1, "simplify should have compacted");
+        // Watchers were rewritten to the compacted arena: propagation over
+        // the chain and failed-assumption extraction still work.
+        let r = s.solve_with_assumptions(&[vs[1].positive(), vs[5].negative()]);
+        assert_eq!(r, SolveResult::Unsat);
+        assert!(
+            !s.failed_assumptions().is_empty(),
+            "failed-assumption extraction over the compacted arena"
+        );
+        assert_eq!(s.solve_with_assumptions(&[vs[1].positive()]), SolveResult::Sat);
+        assert_eq!(s.model_value(vs[5]), Some(true));
     }
 }

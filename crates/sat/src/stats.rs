@@ -27,6 +27,14 @@ pub struct Stats {
     /// Original (problem) clauses added, after top-level simplification;
     /// the paper's "# of CNF Clauses" column.
     pub original_clauses: u64,
+    /// Compacting clause-arena garbage collections performed.
+    pub gc_runs: u64,
+    /// Variables eliminated by preprocessing (net of later restores).
+    pub eliminated_vars: u64,
+    /// Clauses deleted by preprocessing subsumption.
+    pub subsumed_clauses: u64,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub strengthened_clauses: u64,
     /// Wall-clock time spent inside `solve`.
     pub solve_time: Duration,
 }
@@ -36,7 +44,8 @@ impl fmt::Display for Stats {
         write!(
             f,
             "clauses={} conflicts={} learnt={} learnt-lits={} decisions={} \
-             propagations={} restarts={} reductions={} time={:?}",
+             propagations={} restarts={} reductions={} gcs={} eliminated={} \
+             subsumed={} strengthened={} time={:?}",
             self.original_clauses,
             self.conflicts,
             self.learnt_clauses,
@@ -45,6 +54,10 @@ impl fmt::Display for Stats {
             self.propagations,
             self.restarts,
             self.reductions,
+            self.gc_runs,
+            self.eliminated_vars,
+            self.subsumed_clauses,
+            self.strengthened_clauses,
             self.solve_time
         )
     }
@@ -85,6 +98,10 @@ mod tests {
             restarts: 6,
             reductions: 7,
             original_clauses: 8,
+            gc_runs: 10,
+            eliminated_vars: 11,
+            subsumed_clauses: 12,
+            strengthened_clauses: 13,
             solve_time: Duration::from_millis(9),
         };
         let s = stats.to_string();
@@ -97,6 +114,10 @@ mod tests {
             "propagations=5",
             "restarts=6",
             "reductions=7",
+            "gcs=10",
+            "eliminated=11",
+            "subsumed=12",
+            "strengthened=13",
         ] {
             assert!(s.contains(needle), "`{s}` missing `{needle}`");
         }

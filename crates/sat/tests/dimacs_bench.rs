@@ -1,0 +1,66 @@
+//! DIMACS parser micro-benchmark. Ignored by default; run with
+//!
+//! ```text
+//! cargo test -p sufsat-sat --release --test dimacs_bench -- --ignored --nocapture
+//! ```
+//!
+//! Generates a synthetic random-3-SAT instance in memory (so the numbers
+//! measure parsing, not disk I/O) and reports `Cnf::parse` throughput.
+//! `BENCH_solver.json` records before/after numbers for the byte-level
+//! scanner that replaced the `split_whitespace`-based parser.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sufsat_sat::dimacs::Cnf;
+
+/// Deterministic xorshift so before/after runs parse identical bytes.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn synthetic_cnf(vars: u64, clauses: u64, seed: u64) -> String {
+    let mut rng = Rng(seed);
+    let mut text = String::with_capacity(clauses as usize * 16);
+    writeln!(text, "c synthetic random 3-SAT parse benchmark").unwrap();
+    writeln!(text, "p cnf {vars} {clauses}").unwrap();
+    for _ in 0..clauses {
+        for _ in 0..3 {
+            let v = rng.next() % vars + 1;
+            let sign = if rng.next() & 1 == 0 { "" } else { "-" };
+            write!(text, "{sign}{v} ").unwrap();
+        }
+        writeln!(text, "0").unwrap();
+    }
+    text
+}
+
+#[test]
+#[ignore = "micro-benchmark; run explicitly with --ignored --nocapture"]
+fn parse_throughput() {
+    let text = synthetic_cnf(200_000, 1_000_000, 0x5eed_2026);
+    let bytes = text.len();
+    // Warm-up pass, then the timed passes.
+    let warm = Cnf::parse(text.as_bytes()).expect("synthetic CNF parses");
+    assert_eq!(warm.clauses.len(), 1_000_000);
+    const ITERS: u32 = 5;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        let cnf = Cnf::parse(text.as_bytes()).expect("synthetic CNF parses");
+        assert_eq!(cnf.clauses.len(), 1_000_000);
+    }
+    let elapsed = start.elapsed();
+    let per_pass = elapsed / ITERS;
+    let mib_s = bytes as f64 / 1048576.0 / per_pass.as_secs_f64();
+    println!(
+        "dimacs parse: {} bytes, {} clauses, {:?}/pass over {ITERS} passes ({mib_s:.1} MiB/s)",
+        bytes, 1_000_000, per_pass
+    );
+}

@@ -41,7 +41,40 @@ SUFSAT_TRACE=target/ci-incr-trace.jsonl \
 # The CSV must cover the whole system suite (8 rows + header).
 test "$(wc -l < target/ci-incr/fig-incremental.csv)" -eq 9
 
+echo "==> perf-smoke: fig2 with and without CNF preprocessing (verdict equivalence)"
+# The earlier traced fig2 run (target/ci-trace.jsonl) is the
+# no-preprocessing baseline; rerun with --preprocess and hard-fail if any
+# (benchmark, method) verdict differs between the two.
+rm -f target/ci-pre-trace.jsonl
+SUFSAT_TRACE=target/ci-pre-trace.jsonl \
+    ./target/release/paper-eval --timeout 2 --preprocess fig2
+# The preprocessing span/counters must pass the wire-schema check and
+# appear in the stage aggregation.
+./target/release/paper-eval check-trace target/ci-pre-trace.jsonl
+./target/release/paper-eval report target/ci-pre-trace.jsonl \
+    --stages target/ci-pre-stages.json
+grep -q '"sat.preprocess"' target/ci-pre-stages.json
+extract_verdicts() {
+    grep '"name":"bench.result"' "$1" \
+        | sed -E 's/.*"bench":"([^"]*)".*"method":"([^"]*)".*"verdict":"([^"]*)".*/\1,\2,\3/' \
+        | sort
+}
+extract_verdicts target/ci-trace.jsonl     > target/ci-verdicts-nopre.csv
+extract_verdicts target/ci-pre-trace.jsonl > target/ci-verdicts-pre.csv
+# Definitive verdicts must agree pair-wise; `unknown` (a timeout under the
+# 2s CI budget) is not a soundness signal and is skipped.
+awk -F, '
+    NR==FNR { a[$1","$2]=$3; next }
+    ($1","$2 in a) && $3!="unknown" && a[$1","$2]!="unknown" && a[$1","$2]!=$3 {
+        print "verdict mismatch on " $1 "/" $2 ": " a[$1","$2] " vs " $3; bad=1
+    }
+    END { exit bad }
+' target/ci-verdicts-nopre.csv target/ci-verdicts-pre.csv
+
 echo "==> smoke: differential fuzzing (fixed seed, certified answers)"
+# The panel must include the preprocessing lens (BVE + model
+# reconstruction differentially checked against the other ten members).
+./target/release/sufsat-fuzz --list-procedures | grep -qx "eager:preprocess"
 ./target/release/sufsat-fuzz --seed 2026 --cases 200 --quiet \
     --corpus target/fuzz-corpus
 

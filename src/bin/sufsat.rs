@@ -12,6 +12,7 @@
 //!     --septhold N                 hybrid threshold (default: 700)
 //!     --cnf tseitin|pg             CNF conversion (default: tseitin)
 //!     --timeout SECS               SAT wall-clock timeout
+//!     --preprocess                 CNF preprocessing before SAT search
 //!     --stats                      print the measurement block
 //!     --counterexample             print the falsifying assignment
 //!     --trace PATH|stderr          record a structured JSON-lines trace
@@ -41,6 +42,7 @@ fn run() -> ExitCode {
     let mut septhold: Option<usize> = None;
     let mut cnf = CnfMode::Tseitin;
     let mut timeout: Option<Duration> = None;
+    let mut preprocess = false;
     let mut show_stats = false;
     let mut show_cex = false;
     let mut trace: Option<String> = None;
@@ -80,6 +82,7 @@ fn run() -> ExitCode {
                 let secs: f64 = v.parse().unwrap_or_else(|_| die("bad --timeout"));
                 timeout = Some(Duration::from_secs_f64(secs));
             }
+            "--preprocess" => preprocess = true,
             "--stats" => show_stats = true,
             "--counterexample" => show_cex = true,
             "--trace" => {
@@ -88,7 +91,7 @@ fn run() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!("usage: sufsat [--mode sd|eij|hybrid|fixed] [--septhold N]");
-                println!("              [--cnf tseitin|pg] [--timeout SECS]");
+                println!("              [--cnf tseitin|pg] [--timeout SECS] [--preprocess]");
                 println!("              [--stats] [--counterexample] [--trace PATH|stderr] [FILE]");
                 return ExitCode::SUCCESS;
             }
@@ -130,6 +133,7 @@ fn run() -> ExitCode {
         mode,
         cnf,
         timeout,
+        preprocess,
         ..DecideOptions::default()
     };
     let decision = decide(&mut tm, phi, &options);

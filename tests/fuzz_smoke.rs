@@ -27,8 +27,12 @@ fn fixed_seed_campaign_is_clean() {
     assert_eq!(summary.cases_run, 20);
     assert!(summary.definitive_cases >= 15, "{summary:?}");
     assert!(summary.meta_checks >= 30, "{summary:?}");
-    assert_eq!(
-        summary.certified_answers, summary.definitive_answers,
-        "every definitive answer must be certified: {summary:?}"
+    // Every definitive answer is certified except those of the
+    // `eager:preprocess` lens, which runs uncertified (at most one per
+    // case) so bounded variable elimination is actually exercised.
+    assert!(summary.certified_answers > 0);
+    assert!(
+        summary.certified_answers >= summary.definitive_answers - summary.definitive_cases,
+        "at most one uncertified definitive answer per case: {summary:?}"
     );
 }
