@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use sufsat_prng::Prng;
@@ -175,6 +176,12 @@ pub struct CampaignSummary {
     pub definitive_answers: usize,
     /// Definitive answers that carried a checked certificate.
     pub certified_answers: usize,
+    /// Definitive answers *without* a certificate, tallied per procedure
+    /// name. On a panel without baselines, only the deliberately
+    /// uncertified `eager:preprocess` lens may appear here — a regression
+    /// that silently drops certification from any other procedure shows up
+    /// as a new key.
+    pub uncertified_by_procedure: BTreeMap<String, usize>,
     /// Metamorphic relation checks performed.
     pub meta_checks: usize,
     /// All failures, in discovery order.
@@ -228,12 +235,20 @@ pub fn run_campaign_with(config: &CampaignConfig, procs: &[Procedure]) -> Campai
                 if report.consensus.is_some() {
                     summary.definitive_cases += 1;
                 }
-                summary.definitive_answers += report
-                    .answers
-                    .iter()
-                    .filter(|(_, a)| a.verdict != Verdict::Unknown)
-                    .count();
-                summary.certified_answers += report.certified_count();
+                for (name, a) in &report.answers {
+                    if a.verdict == Verdict::Unknown {
+                        continue;
+                    }
+                    summary.definitive_answers += 1;
+                    if a.certified {
+                        summary.certified_answers += 1;
+                    } else {
+                        *summary
+                            .uncertified_by_procedure
+                            .entry(name.clone())
+                            .or_insert(0) += 1;
+                    }
+                }
                 if config.metamorphic && report.consensus.is_some() {
                     let shift = rng.random_range(1i64..5);
                     let kinds = [MetaKind::Rename, MetaKind::Shift(shift), MetaKind::Negate];
@@ -386,14 +401,23 @@ mod tests {
         assert!(summary.clean(), "failures: {:#?}", summary.failures);
         assert_eq!(summary.cases_run, 8);
         assert!(summary.definitive_cases >= 6, "{summary:?}");
-        // Every definitive eager answer carries a checked certificate
-        // except the `eager:preprocess` lens, which runs uncertified (at
-        // most one uncertified answer per case) so that bounded variable
-        // elimination is actually exercised.
+        // Every definitive answer carries a checked certificate except the
+        // `eager:preprocess` lens, which deliberately runs uncertified so
+        // that bounded variable elimination is actually exercised. Any
+        // other procedure showing up uncertified is a regression.
         assert!(summary.certified_answers > 0);
+        let uncertified: usize = summary.uncertified_by_procedure.values().sum();
+        assert_eq!(
+            summary.certified_answers + uncertified,
+            summary.definitive_answers,
+            "{summary:?}"
+        );
         assert!(
-            summary.certified_answers >= summary.definitive_answers - summary.definitive_cases,
-            "at most one uncertified definitive answer per case: {summary:?}"
+            summary
+                .uncertified_by_procedure
+                .keys()
+                .all(|name| name == "eager:preprocess"),
+            "only the preprocessing lens may answer uncertified: {summary:?}"
         );
     }
 

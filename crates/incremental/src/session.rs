@@ -130,6 +130,9 @@ pub struct Session {
     frames: Vec<usize>,
     next_id: usize,
     generation: u64,
+    /// `original_clauses` count after the last `preprocess()` run on the
+    /// current solver, so unchanged clause sets skip re-preprocessing.
+    preprocessed_at: Option<u64>,
     stats: SessionStats,
     /// Solver counters accumulated from generations discarded by
     /// re-encoding (conflicts, decisions, propagations).
@@ -163,6 +166,7 @@ impl Session {
             frames: Vec::new(),
             next_id: 0,
             generation: 0,
+            preprocessed_at: None,
             stats: SessionStats::default(),
             discarded: (0, 0, 0),
         }
@@ -277,6 +281,7 @@ impl Session {
         self.solver = Solver::new();
         self.loader = IncrementalLoader::new(self.options.cnf);
         self.enc = IncrementalEncoder::new();
+        self.preprocessed_at = None;
         for a in &mut self.assertions {
             a.act = None;
         }
@@ -441,8 +446,15 @@ impl Session {
         // activation literals whose eventual retirement would invalidate
         // elimination bookkeeping wholesale, so scoped sessions skip it.
         if self.options.preprocess && self.frames.is_empty() {
-            self.solver.set_cancel_token(self.options.cancel.clone());
-            let _ = self.solver.preprocess();
+            // Re-running occurrence-list construction and subsumption over
+            // an unchanged clause arena is pure overhead: only preprocess
+            // when clauses were loaded since the last pass.
+            let loaded = self.solver.stats().original_clauses;
+            if self.preprocessed_at != Some(loaded) {
+                self.solver.set_cancel_token(self.options.cancel.clone());
+                let _ = self.solver.preprocess();
+                self.preprocessed_at = Some(self.solver.stats().original_clauses);
+            }
         }
         stats.translate_time = translate_start.elapsed();
 

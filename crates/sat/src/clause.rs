@@ -87,6 +87,21 @@ impl ClauseDb {
         self.data[cref as usize] & FLAG_LEARNT != 0
     }
 
+    /// Promotes a learnt clause to irredundant: clears the learnt flag and
+    /// drops it from the learnt index, so `reduce_db` can never delete it.
+    /// Needed when a learnt clause starts justifying the deletion of an
+    /// input clause (e.g. preprocessing subsumption).
+    pub(crate) fn make_irredundant(&mut self, cref: ClauseRef) {
+        let h = self.data[cref as usize];
+        if h & FLAG_LEARNT == 0 {
+            return;
+        }
+        self.data[cref as usize] = h & !FLAG_LEARNT;
+        if let Some(i) = self.learnts.iter().position(|&c| c == cref) {
+            self.learnts.swap_remove(i);
+        }
+    }
+
     /// Number of literals in the clause.
     #[inline]
     pub(crate) fn size(&self, cref: ClauseRef) -> usize {

@@ -422,6 +422,13 @@ fn drain_subsumption(s: &mut Solver, st: &mut PreState) -> bool {
             match subsumes(s, &c_lits, d) {
                 Sub::Subsumes => {
                     if !s.locked(d) {
+                        // A learnt subsumer now justifies deleting an input
+                        // clause: promote it to irredundant first, or a
+                        // later reduce_db could drop it too and leave the
+                        // clause set weaker than the input formula.
+                        if s.db.learnt(c) && !s.db.learnt(d) {
+                            s.db.make_irredundant(c);
+                        }
                         delete_clause(s, st, d);
                     }
                 }
@@ -687,6 +694,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn learnt_subsumer_is_promoted_before_deleting_original() {
+        // A learnt clause subsuming an original clause must become
+        // irredundant when the original is deleted: if it stayed learnt, a
+        // later reduce_db could drop it too, leaving the clause set weaker
+        // than the input formula.
+        let mut s = Solver::new();
+        let v = nvars(&mut s, 3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        // Freeze everything so BVE stays out of the picture.
+        for &x in &v {
+            s.set_frozen(x, true);
+        }
+        s.add_clause([a.positive(), b.positive(), c.positive()]);
+        let lref = s.db.alloc(&[a.positive(), b.positive()], true, 2);
+        s.attach(lref);
+        assert_eq!(s.db.num_learnts(), 1);
+        assert!(s.preprocess());
+        assert_eq!(s.stats().subsumed_clauses, 1);
+        // `lref` may have been relocated by arena GC inside preprocess;
+        // assert over the whole live arena instead: the subsumer survives
+        // promoted, so no learnt clause is left for reduce_db to drop.
+        assert_eq!(s.db.num_learnts(), 0);
+        assert!(s.db.learnts.is_empty(), "promoted clause leaves the learnt index");
+        let live: Vec<_> = s
+            .db
+            .crefs()
+            .into_iter()
+            .filter(|&c| !s.db.is_removed(c))
+            .collect();
+        assert_eq!(live.len(), 1);
+        assert!(!s.db.learnt(live[0]), "subsumer must be promoted");
+        assert_eq!(s.db.size(live[0]), 2);
+        // The promoted clause now carries the deleted original's content:
+        // ¬a ∧ ¬b must refute the formula.
+        s.add_clause([a.negative()]);
+        s.add_clause([b.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]
