@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the encoding pipeline: SD vs EIJ vs HYBRID per
 //! benchmark family (the per-figure wall-clock measurements live in the
 //! `paper-eval` binary; these benches track the encoder itself), plus the
-//! ablations called out in DESIGN.md §7: Tseitin vs Plaisted–Greenbaum and
+//! ablations called out in DESIGN.md §8: Tseitin vs Plaisted–Greenbaum and
 //! positive-equality exploitation on/off.
 //!
 //! Runs in smoke mode by default; set `SUFSAT_BENCH_FULL=1` for timed
@@ -59,7 +59,7 @@ fn bench_end_to_end(r: &Runner) {
     }
 }
 
-/// Ablation: Tseitin vs Plaisted–Greenbaum CNF conversion (DESIGN.md §7.1).
+/// Ablation: Tseitin vs Plaisted–Greenbaum CNF conversion (DESIGN.md §8.1).
 fn bench_cnf_ablation(r: &Runner) {
     for cnf in [CnfMode::Tseitin, CnfMode::PlaistedGreenbaum] {
         r.bench(&format!("decide/cnf-ablation/{cnf:?}"), || {
@@ -74,7 +74,7 @@ fn bench_cnf_ablation(r: &Runner) {
 }
 
 /// Ablation: positive equality on/off — treating every constant as `V_g`
-/// (DESIGN.md §7.3). "Off" forces the analysis to drop `V_p`.
+/// (DESIGN.md §8.3). "Off" forces the analysis to drop `V_p`.
 fn bench_peq_ablation(r: &Runner) {
     for keep_p in [true, false] {
         let label = if keep_p {
@@ -102,7 +102,7 @@ fn bench_peq_ablation(r: &Runner) {
 }
 
 /// Ablation: elimination order for transitivity generation
-/// (DESIGN.md §7.2).
+/// (DESIGN.md §8.2).
 fn bench_elim_order(r: &Runner) {
     // A dense difference-constraint class extracted from the invariant
     // family's shape.

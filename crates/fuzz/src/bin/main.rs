@@ -28,6 +28,10 @@ USAGE:
     sufsat-fuzz --replay <FILE>...
 
 OPTIONS:
+    --target <NAME>     what to fuzz: `oracle` (default) cross-checks the
+                        decision procedures; `serve` throws malformed
+                        frames at the sufsat-serve protocol parser
+    --replay-hex <FILE> re-send a serve-protocol .hex reproducer (repeatable)
     --seed <N>          campaign seed (default 0)
     --cases <N>         number of generated cases (default 200)
     --ops <N>           construction steps per formula (default 18)
@@ -50,7 +54,9 @@ OPTIONS:
 
 struct Cli {
     config: CampaignConfig,
+    target: String,
     replay: Vec<PathBuf>,
+    replay_hex: Vec<PathBuf>,
     print_case: Option<usize>,
     list_procedures: bool,
 }
@@ -62,7 +68,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         log_every: 50,
         ..CampaignConfig::default()
     };
+    let mut target = "oracle".to_owned();
     let mut replay = Vec::new();
+    let mut replay_hex = Vec::new();
     let mut print_case = None;
     let mut list_procedures = false;
     let mut it = args.iter();
@@ -71,6 +79,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             it.next().ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
+            "--target" => {
+                target = value("--target")?.clone();
+                if target != "oracle" && target != "serve" {
+                    return Err(format!("unknown target: {target}"));
+                }
+            }
+            "--replay-hex" => replay_hex.push(PathBuf::from(value("--replay-hex")?)),
             "--seed" => config.seed = parse_num(value("--seed")?)?,
             "--cases" => config.cases = parse_num(value("--cases")?)?,
             "--ops" => config.gen.ops = parse_num(value("--ops")?)?,
@@ -98,7 +113,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     Ok(Cli {
         config,
+        target,
         replay,
+        replay_hex,
         print_case,
         list_procedures,
     })
@@ -184,8 +201,46 @@ fn run() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if !cli.replay_hex.is_empty() {
+        let mut failed = false;
+        for path in &cli.replay_hex {
+            match sufsat_fuzz::replay_hex(path) {
+                Ok(label) => println!("{}: ok ({label})", path.display()),
+                Err(e) => {
+                    failed = true;
+                    println!("{}: STILL FAILING — {e}", path.display());
+                }
+            }
+        }
+        return if failed { ExitCode::from(1) } else { ExitCode::SUCCESS };
+    }
+
     if !cli.replay.is_empty() {
         return replay_files(&cli.replay, &cli.config.oracle);
+    }
+
+    if cli.target == "serve" {
+        let summary = sufsat_fuzz::run_serve_fuzz(&sufsat_fuzz::ServeFuzzConfig {
+            seed: cli.config.seed,
+            cases: cli.config.cases,
+            corpus_dir: cli.config.corpus_dir.clone(),
+            log_every: cli.config.log_every,
+        });
+        println!(
+            "sufsat-fuzz[serve]: {} cases ({} error replies, {} hang-ups), {} probes ok, {} failures",
+            summary.cases_run,
+            summary.error_replies,
+            summary.closed,
+            summary.probes_ok,
+            summary.failures.len()
+        );
+        for f in &summary.failures {
+            println!("  case {}: {}", f.case_index, f.detail);
+            if let Some(path) = &f.path {
+                println!("    reproducer: {}", path.display());
+            }
+        }
+        return if summary.clean() { ExitCode::SUCCESS } else { ExitCode::from(1) };
     }
 
     let summary = run_campaign(&cli.config);

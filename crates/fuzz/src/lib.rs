@@ -21,6 +21,10 @@
 //!
 //! Everything is driven by the in-tree PRNG: a `(seed, case)` pair
 //! reproduces the exact formula on any machine, fully offline.
+//!
+//! A second target ([`serve_target`], CLI `--target serve`) fuzzes the
+//! `sufsat-serve` wire protocol instead: seeded malformed frames against
+//! a live in-process server, with `.hex` reproducers.
 
 #![warn(missing_docs)]
 
@@ -34,6 +38,7 @@ pub mod corpus;
 pub mod gen;
 pub mod meta;
 pub mod oracle;
+pub mod serve_target;
 pub mod shrink;
 
 pub use corpus::{read_reproducer, reproducer_text, write_reproducer, ReproducerInfo};
@@ -42,6 +47,10 @@ pub use meta::{alpha_rename, shift_ints};
 pub use oracle::{
     default_procedures, run_oracle, OracleFailure, OracleOptions, OracleReport, Procedure,
     ProcedureAnswer, Verdict,
+};
+pub use serve_target::{
+    malformed_bytes, read_hex_reproducer, replay_hex, run_serve_fuzz, write_hex_reproducer,
+    ServeFuzzConfig, ServeFuzzFailure, ServeFuzzSummary,
 };
 pub use shrink::{count_atoms, shrink};
 

@@ -1,0 +1,445 @@
+//! Protocol fuzzing for the `sufsat-serve` framed-message parser.
+//!
+//! Each case spins a malformed byte sequence out of the seeded PRNG —
+//! truncated frames, oversized length prefixes, invalid UTF-8, garbage
+//! JSON, wrong field types — and throws it at a live in-process server.
+//! The server must answer `error` or hang up; it must never panic, and
+//! it must never leak a worker or a session. Liveness is enforced by a
+//! well-formed probe request after every few malformed cases, and leak
+//! freedom by the final `stats` + drain: the panic counter must read
+//! zero and the drained report must show zero inflight jobs and zero
+//! open sessions.
+//!
+//! A failing case is written to the corpus directory as a `.hex`
+//! reproducer (hex-encoded bytes, one line, `#` comments) that
+//! `sufsat-fuzz --target serve --replay-hex FILE` re-sends verbatim.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use sufsat_prng::Prng;
+use sufsat_serve::{reply_status, Client, ServeOptions, Server};
+
+/// Configuration for a serve-protocol campaign.
+#[derive(Debug, Clone)]
+pub struct ServeFuzzConfig {
+    /// Campaign seed; `(seed, case)` reproduces the exact bytes.
+    pub seed: u64,
+    /// Number of malformed cases to run.
+    pub cases: usize,
+    /// Where failing cases are written as `.hex` reproducers
+    /// (`None` disables).
+    pub corpus_dir: Option<PathBuf>,
+    /// Progress line every N cases (0 = quiet).
+    pub log_every: usize,
+}
+
+impl Default for ServeFuzzConfig {
+    fn default() -> ServeFuzzConfig {
+        ServeFuzzConfig {
+            seed: 0,
+            cases: 200,
+            corpus_dir: Some(PathBuf::from("fuzz-corpus")),
+            log_every: 50,
+        }
+    }
+}
+
+/// Outcome of a serve-protocol campaign.
+#[derive(Debug, Default)]
+pub struct ServeFuzzSummary {
+    /// Malformed cases sent.
+    pub cases_run: usize,
+    /// Cases answered with an `error` reply.
+    pub error_replies: usize,
+    /// Cases where the server hung up (legal for framing-level damage).
+    pub closed: usize,
+    /// Liveness probes that came back `ok`.
+    pub probes_ok: usize,
+    /// Failures (probe dead, server panicked, leak at shutdown).
+    pub failures: Vec<ServeFuzzFailure>,
+}
+
+impl ServeFuzzSummary {
+    /// True when the campaign finished without failures.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// One campaign failure, with enough to reproduce it.
+#[derive(Debug)]
+pub struct ServeFuzzFailure {
+    /// Case index within the campaign (`usize::MAX` for end-of-campaign
+    /// leak checks).
+    pub case_index: usize,
+    /// What went wrong.
+    pub detail: String,
+    /// The malformed bytes (empty for end-of-campaign checks).
+    pub bytes: Vec<u8>,
+    /// Reproducer path, when a corpus directory was configured.
+    pub path: Option<PathBuf>,
+}
+
+/// The malformed byte sequence for `(seed, case)`. Strategy rotates with
+/// the case index so every campaign covers the whole taxonomy.
+pub fn malformed_bytes(seed: u64, case: usize) -> Vec<u8> {
+    let mut rng = Prng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let frame = |payload: &[u8]| -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    };
+    match case % 10 {
+        // Raw garbage: the length prefix itself is random junk.
+        0 => {
+            let n = 1 + (rng.next_u64() % 64) as usize;
+            (0..n).map(|_| rng.next_u64() as u8).collect()
+        }
+        // Truncated frame: honest prefix, missing payload tail.
+        1 => {
+            let declared = 8 + (rng.next_u64() % 56) as u32;
+            let supplied = (rng.next_u64() % declared as u64) as usize;
+            let mut out = declared.to_be_bytes().to_vec();
+            out.extend((0..supplied).map(|_| b'{'));
+            out
+        }
+        // Oversized length prefix (way past max_frame).
+        2 => {
+            let declared = (1u32 << 24) + (rng.next_u64() as u32 & 0x00ff_ffff);
+            declared.to_be_bytes().to_vec()
+        }
+        // Valid frame, invalid UTF-8 payload.
+        3 => {
+            let n = 4 + (rng.next_u64() % 32) as usize;
+            let mut payload = vec![0xffu8, 0xfe];
+            payload.extend((0..n).map(|_| 0x80 | (rng.next_u64() as u8 & 0x3f)));
+            frame(&payload)
+        }
+        // Valid frame, garbage JSON.
+        4 => {
+            let junk: &[&str] = &["{", "{\"op\"", "[1,2", "tru", "\"", "{]}", "{,}"];
+            frame(junk[(rng.next_u64() as usize) % junk.len()].as_bytes())
+        }
+        // Valid frame, well-formed JSON that is not an object.
+        5 => {
+            let junk: &[&str] = &["42", "[\"decide\"]", "null", "\"decide\"", "true"];
+            frame(junk[(rng.next_u64() as usize) % junk.len()].as_bytes())
+        }
+        // Unknown op.
+        6 => frame(format!("{{\"id\":1,\"op\":\"op-{}\"}}", rng.next_u64()).as_bytes()),
+        // Wrong field types.
+        7 => {
+            let junk: &[&str] = &[
+                "{\"id\":\"one\",\"op\":\"decide\",\"problem\":\"(vars x)\"}",
+                "{\"id\":1,\"op\":7,\"problem\":\"x\"}",
+                "{\"id\":1,\"op\":\"decide\",\"problem\":42}",
+                "{\"id\":1,\"op\":\"decide\",\"problem\":\"(vars x) (formula x)\",\"timeout_ms\":\"soon\"}",
+                "{\"id\":1,\"op\":\"session-assert\",\"session\":\"nope\",\"problem\":\"x\"}",
+            ];
+            frame(junk[(rng.next_u64() as usize) % junk.len()].as_bytes())
+        }
+        // Zero-length frame.
+        8 => frame(b""),
+        // Missing required fields / bogus enum values.
+        _ => {
+            let junk: &[&str] = &[
+                "{\"id\":1,\"op\":\"decide\"}",
+                "{\"id\":1,\"op\":\"session-assert\",\"session\":1}",
+                "{\"id\":1,\"op\":\"decide\",\"problem\":\"(vars x) (formula x)\",\"mode\":\"quantum\"}",
+                "{\"id\":1,\"op\":\"decide\",\"problem\":\"(vars x) (formula x)\",\"cnf\":\"magic\"}",
+                "{\"id\":1}",
+            ];
+            frame(junk[(rng.next_u64() as usize) % junk.len()].as_bytes())
+        }
+    }
+}
+
+const PROBE_PROBLEM: &str =
+    "(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))";
+
+fn probe(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("probe connect: {e}"))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("probe timeout: {e}"))?;
+    let reply = client
+        .decide(PROBE_PROBLEM, Some(Duration::from_secs(10)))
+        .map_err(|e| format!("probe request died: {e}"))?;
+    if reply_status(&reply) != "ok" {
+        return Err(format!("probe not ok: {reply:?}"));
+    }
+    Ok(())
+}
+
+/// Runs a serve-protocol fuzzing campaign against a fresh in-process
+/// server and returns the summary.
+pub fn run_serve_fuzz(config: &ServeFuzzConfig) -> ServeFuzzSummary {
+    let mut summary = ServeFuzzSummary::default();
+    let opts = ServeOptions {
+        workers: 2,
+        queue_cap: 16,
+        ..ServeOptions::default()
+    };
+    let handle = match Server::bind("127.0.0.1:0", opts) {
+        Ok(h) => h,
+        Err(e) => {
+            summary.failures.push(ServeFuzzFailure {
+                case_index: usize::MAX,
+                detail: format!("cannot bind fuzz server: {e}"),
+                bytes: Vec::new(),
+                path: None,
+            });
+            return summary;
+        }
+    };
+    let addr = handle.local_addr().to_string();
+
+    for case in 0..config.cases {
+        let bytes = malformed_bytes(config.seed, case);
+        summary.cases_run += 1;
+        match send_malformed(&addr, &bytes) {
+            Ok(MalformedOutcome::ErrorReply) => summary.error_replies += 1,
+            Ok(MalformedOutcome::Closed) => summary.closed += 1,
+            Err(detail) => {
+                record_failure(config, &mut summary, case, detail, bytes);
+            }
+        }
+        // Every few cases, prove a well-formed request still works —
+        // catches stuck readers and leaked workers immediately.
+        if case % 8 == 7 {
+            match probe(&addr) {
+                Ok(()) => summary.probes_ok += 1,
+                Err(detail) => {
+                    record_failure(
+                        config,
+                        &mut summary,
+                        case,
+                        format!("liveness probe failed after case {case}: {detail}"),
+                        malformed_bytes(config.seed, case),
+                    );
+                    break;
+                }
+            }
+        }
+        if config.log_every > 0 && (case + 1) % config.log_every == 0 {
+            eprintln!("serve-fuzz: {}/{} cases", case + 1, config.cases);
+        }
+    }
+
+    // Leak check: panic counter zero, drain leaves nothing behind.
+    match Client::connect(&*addr).map_err(|e| e.to_string()).and_then(|mut c| {
+        c.set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        c.stats().map_err(|e| e.to_string())
+    }) {
+        Ok(stats) => {
+            let panics = stats
+                .get("counters")
+                .and_then(|c| c.get("panics"))
+                .and_then(|p| p.as_u64())
+                .unwrap_or(u64::MAX);
+            if panics != 0 {
+                summary.failures.push(ServeFuzzFailure {
+                    case_index: usize::MAX,
+                    detail: format!("server recorded {panics} worker panics"),
+                    bytes: Vec::new(),
+                    path: None,
+                });
+            }
+        }
+        Err(e) => summary.failures.push(ServeFuzzFailure {
+            case_index: usize::MAX,
+            detail: format!("final stats request failed: {e}"),
+            bytes: Vec::new(),
+            path: None,
+        }),
+    }
+    let report = handle.shutdown();
+    if report.inflight != 0 || report.open_sessions != 0 {
+        summary.failures.push(ServeFuzzFailure {
+            case_index: usize::MAX,
+            detail: format!(
+                "leak at shutdown: inflight={} open_sessions={}",
+                report.inflight, report.open_sessions
+            ),
+            bytes: Vec::new(),
+            path: None,
+        });
+    }
+    summary
+}
+
+enum MalformedOutcome {
+    ErrorReply,
+    Closed,
+}
+
+/// Sends one malformed sequence on a fresh connection. Acceptable server
+/// behavior: an `error` reply, a hang-up, or silence (waiting for the
+/// rest of a truncated frame — our disconnect then cleans it up).
+fn send_malformed(addr: &str, bytes: &[u8]) -> Result<MalformedOutcome, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    client
+        .send_bytes(bytes)
+        .map_err(|e| format!("send: {e}"))?;
+    match client.read_reply() {
+        Ok(reply) => {
+            if reply_status(&reply) == "error" {
+                Ok(MalformedOutcome::ErrorReply)
+            } else {
+                Err(format!("expected error reply, got {reply:?}"))
+            }
+        }
+        Err(sufsat_serve::ClientError::Closed) => Ok(MalformedOutcome::Closed),
+        // A read timeout: the server is (correctly) waiting for more
+        // bytes of an incomplete frame. Dropping the connection ends it.
+        Err(sufsat_serve::ClientError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(MalformedOutcome::Closed)
+        }
+        Err(e) => Err(format!("reply read failed: {e}")),
+    }
+}
+
+fn record_failure(
+    config: &ServeFuzzConfig,
+    summary: &mut ServeFuzzSummary,
+    case: usize,
+    detail: String,
+    bytes: Vec<u8>,
+) {
+    let path = config.corpus_dir.as_ref().and_then(|dir| {
+        write_hex_reproducer(dir, config.seed, case, &detail, &bytes).ok()
+    });
+    summary.failures.push(ServeFuzzFailure {
+        case_index: case,
+        detail,
+        bytes,
+        path,
+    });
+}
+
+/// Writes `bytes` as a `.hex` reproducer and returns its path.
+pub fn write_hex_reproducer(
+    dir: &Path,
+    seed: u64,
+    case: usize,
+    detail: &str,
+    bytes: &[u8],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("serve-{seed:016x}-{case:05}.hex"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "# serve protocol fuzz reproducer")?;
+    writeln!(f, "# seed {seed:#018x} case {case}")?;
+    writeln!(f, "# {detail}")?;
+    writeln!(f, "{}", hex_encode(bytes))?;
+    Ok(path)
+}
+
+/// Reads a `.hex` reproducer (hex bytes; `#` comments and whitespace
+/// ignored) back into the byte sequence it records.
+pub fn read_hex_reproducer(path: &Path) -> Result<Vec<u8>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut nibbles = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for ch in line.chars().filter(|c| !c.is_whitespace()) {
+            let v = ch
+                .to_digit(16)
+                .ok_or_else(|| format!("{}: bad hex digit `{ch}`", path.display()))?;
+            nibbles.push(v as u8);
+        }
+    }
+    if nibbles.len() % 2 != 0 {
+        return Err(format!("{}: odd number of hex digits", path.display()));
+    }
+    Ok(nibbles.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+/// Re-sends the bytes of a `.hex` reproducer against a fresh in-process
+/// server; `Ok(label)` describes the (acceptable) server behavior.
+pub fn replay_hex(path: &Path) -> Result<&'static str, String> {
+    let bytes = read_hex_reproducer(path)?;
+    let opts = ServeOptions {
+        workers: 1,
+        queue_cap: 4,
+        ..ServeOptions::default()
+    };
+    let handle =
+        Server::bind("127.0.0.1:0", opts).map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr().to_string();
+    let outcome = send_malformed(&addr, &bytes);
+    let live = probe(&addr);
+    let report = handle.shutdown();
+    let outcome = outcome?;
+    live.map_err(|e| format!("server unresponsive after replay: {e}"))?;
+    if report.inflight != 0 || report.open_sessions != 0 {
+        return Err(format!(
+            "leak after replay: inflight={} open_sessions={}",
+            report.inflight, report.open_sessions
+        ));
+    }
+    Ok(match outcome {
+        MalformedOutcome::ErrorReply => "error reply",
+        MalformedOutcome::Closed => "connection closed",
+    })
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let dir = std::env::temp_dir().join(format!("sufsat-hexrt-{}", std::process::id()));
+        let bytes = malformed_bytes(7, 3);
+        let path = write_hex_reproducer(&dir, 7, 3, "round trip", &bytes).unwrap();
+        assert_eq!(read_hex_reproducer(&path).unwrap(), bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strategies_cover_taxonomy() {
+        // Every strategy produces non-degenerate, deterministic bytes.
+        for case in 0..10 {
+            let a = malformed_bytes(1, case);
+            let b = malformed_bytes(1, case);
+            assert_eq!(a, b, "strategy {case} must be deterministic");
+            assert!(!a.is_empty() || case == 8, "strategy {case} degenerate");
+        }
+    }
+
+    #[test]
+    fn quick_campaign_is_clean() {
+        let summary = run_serve_fuzz(&ServeFuzzConfig {
+            seed: 42,
+            cases: 30,
+            corpus_dir: None,
+            log_every: 0,
+        });
+        assert!(
+            summary.clean(),
+            "serve fuzz failures: {:?}",
+            summary.failures
+        );
+        assert!(summary.probes_ok > 0);
+    }
+}

@@ -199,6 +199,20 @@ impl Session {
         self.core_minimize_budget = solves;
     }
 
+    /// Sets (or clears) the wall-clock budget applied to each subsequent
+    /// [`check`](Session::check). Lets a long-lived session vary the
+    /// deadline per query instead of fixing it at construction.
+    pub fn set_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.options.timeout = timeout;
+    }
+
+    /// Sets (or clears) the cancellation token polled by subsequent
+    /// [`check`](Session::check) calls, so an external party (e.g. a
+    /// server noticing a client disconnect) can abort a running solve.
+    pub fn set_cancel_token(&mut self, cancel: Option<sufsat_sat::CancelToken>) {
+        self.options.cancel = cancel;
+    }
+
     /// Number of open scopes.
     pub fn depth(&self) -> usize {
         self.frames.len()

@@ -42,21 +42,29 @@ fn disabled_instrumentation_never_allocates() {
     sufsat_obs::event!("warmup", n = 0u64);
     HOT_COUNTER.add(1);
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for i in 0..100_000u64 {
-        HOT_COUNTER.add(i);
-        HOT_GAUGE.set(i as i64);
-        let span = sufsat_obs::span_with!("test.span", iteration = i);
-        assert!(!span.is_recording());
-        sufsat_obs::event!("test.event", iteration = i, label = "disabled");
-        drop(span);
+    // The allocation counter is process-global, and the std runtime keeps
+    // threads of its own (libtest's harness) that may allocate at any
+    // moment. The claim under test is per-iteration, so measure several
+    // windows and judge the *minimum*: a fast path that allocates shows a
+    // nonzero count in every window, while unrelated background noise
+    // cannot land in all of them.
+    let mut min_delta = u64::MAX;
+    for _ in 0..8 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for i in 0..100_000u64 {
+            HOT_COUNTER.add(i);
+            HOT_GAUGE.set(i as i64);
+            let span = sufsat_obs::span_with!("test.span", iteration = i);
+            assert!(!span.is_recording());
+            sufsat_obs::event!("test.event", iteration = i, label = "disabled");
+            drop(span);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        min_delta = min_delta.min(after - before);
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
-        after - before,
-        0,
-        "disabled tracing fast path allocated {} times",
-        after - before
+        min_delta, 0,
+        "disabled tracing fast path allocated {min_delta} times per 100k-call window"
     );
 
     // Nothing registered either: the metrics registry stayed empty and the

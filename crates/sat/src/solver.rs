@@ -572,6 +572,13 @@ impl Solver {
         let budget_start = self.stats.conflicts;
         let mut conflicts_this_restart = 0u64;
         let mut restart_limit = self.restart_limit();
+        // Deadline polling is amortized over a credit counter rather than
+        // the conflict count: each cycle earns 1 credit and each conflict
+        // 16 more, and the clock is read once 256 credits accrue. On
+        // conflict-heavy search that is the old every-few-conflicts rate,
+        // while conflict-free search (huge easy instances) still polls
+        // every 256 cycles instead of never.
+        let mut deadline_credit = 0u32;
         loop {
             // One relaxed atomic load per propagate/decide cycle — cheap
             // next to propagation, and prompt enough that cancellation
@@ -579,6 +586,16 @@ impl Solver {
             if self.cancel_requested() {
                 self.backtrack_to(0);
                 return SolveResult::Unknown(Interrupt::Cancelled);
+            }
+            deadline_credit += 1;
+            if deadline_credit >= 256 {
+                deadline_credit = 0;
+                if let Some(limit) = self.timeout {
+                    if start.elapsed() >= limit {
+                        self.backtrack_to(0);
+                        return SolveResult::Unknown(Interrupt::Timeout);
+                    }
+                }
             }
             if let Some(confl) = self.propagate() {
                 // Conflict.
@@ -593,14 +610,7 @@ impl Solver {
                 self.backtrack_to(bt_level);
                 self.learn(learnt, lbd);
                 self.decay_activities();
-                if self.stats.conflicts.is_multiple_of(256) {
-                    if let Some(limit) = self.timeout {
-                        if start.elapsed() >= limit {
-                            self.backtrack_to(0);
-                            return SolveResult::Unknown(Interrupt::Timeout);
-                        }
-                    }
-                }
+                deadline_credit += 16;
                 if let Some(budget) = self.conflict_budget {
                     if self.stats.conflicts - budget_start >= budget {
                         self.backtrack_to(0);

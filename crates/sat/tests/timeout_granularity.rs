@@ -1,0 +1,55 @@
+//! Regression test for deadline-polling granularity.
+//!
+//! `Solver::search` used to read the clock only every 256 *conflicts*, so
+//! an instance that propagates or enumerates its way to an answer without
+//! ever conflicting would blow straight through any timeout — the serve
+//! daemon's per-request deadlines made that latency visible. The poll is
+//! now amortized over a credit counter fed by every search cycle, so even
+//! conflict-free search honors the deadline.
+
+use std::time::{Duration, Instant};
+
+use sufsat_sat::{Interrupt, Lit, SolveResult, Solver};
+
+/// A large, trivially satisfiable instance: hundreds of thousands of
+/// variables, each with a unit-free binary clause `(x_i ∨ x_i+1)` that the
+/// default false-first phase never falsifies into a conflict. The solver
+/// must decide every variable one by one — plenty of conflict-free cycles.
+fn big_easy_solver(vars: u32) -> Solver {
+    let mut solver = Solver::new();
+    let lits: Vec<Lit> = (0..vars).map(|_| solver.new_var().positive()).collect();
+    for w in lits.windows(2) {
+        solver.add_clause([w[0], w[1]]);
+    }
+    solver
+}
+
+#[test]
+fn timeout_fires_without_conflicts() {
+    let mut solver = big_easy_solver(400_000);
+    solver.set_timeout(Some(Duration::from_millis(1)));
+    let started = Instant::now();
+    let result = solver.solve();
+    let elapsed = started.elapsed();
+    // The instance has zero conflicts, so the old conflict-gated check
+    // never ran and the solver returned Sat after enumerating all 400k
+    // variables. The credit-based poll must interrupt instead.
+    assert_eq!(
+        result,
+        SolveResult::Unknown(Interrupt::Timeout),
+        "a 1 ms deadline on a conflict-free instance must time out, got {result:?}"
+    );
+    // Generous machine-independent bound: polling every 256 cycles keeps
+    // the overshoot far below the full enumeration time.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "timeout overshoot too large: {elapsed:?}"
+    );
+}
+
+#[test]
+fn generous_timeout_still_solves() {
+    let mut solver = big_easy_solver(50_000);
+    solver.set_timeout(Some(Duration::from_secs(60)));
+    assert_eq!(solver.solve(), SolveResult::Sat);
+}

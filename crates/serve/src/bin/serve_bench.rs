@@ -1,0 +1,346 @@
+//! `serve-bench` — load generator for the `sufsat-serve` daemon.
+//!
+//! Replays benchmark-suite `.suf` files against a server at configurable
+//! concurrency and reports latency percentiles, throughput and the
+//! admission-control overload rate.
+//!
+//! ```text
+//! serve-bench [OPTIONS]
+//!
+//!     --addr HOST:PORT   drive an external daemon (default: spin an
+//!                        in-process server and drive that)
+//!     --workers N        in-process server worker threads (default 4)
+//!     --queue-cap N      in-process server queue bound (default 64)
+//!     --clients N        concurrent client connections (default 8)
+//!     --requests N       requests per client (default: until --duration)
+//!     --duration SECS    wall-clock budget per client (default 10)
+//!     --timeout-ms N     per-request deadline (default 2000)
+//!     --dir PATH         directory of .suf files (default benchmarks)
+//!     --max-bytes N      skip files larger than N bytes (default 256k)
+//!     --out PATH         write the JSON report here (default
+//!                        BENCH_serve.json)
+//!     --trace PATH       record a structured trace (in-process server
+//!                        spans land in it too)
+//! ```
+//!
+//! Exit code: 0 on success, 2 on usage/setup errors.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sufsat_serve::{render_json, reply_status, reply_verdict, Client, ServeOptions, Server};
+
+struct Config {
+    addr: Option<String>,
+    workers: usize,
+    queue_cap: usize,
+    clients: usize,
+    requests: Option<usize>,
+    duration: Duration,
+    timeout_ms: u64,
+    dir: PathBuf,
+    max_bytes: u64,
+    out: PathBuf,
+    trace: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: None,
+            workers: 4,
+            queue_cap: 64,
+            clients: 8,
+            requests: None,
+            duration: Duration::from_secs(10),
+            timeout_ms: 2000,
+            dir: PathBuf::from("benchmarks"),
+            max_bytes: 256 * 1024,
+            out: PathBuf::from("BENCH_serve.json"),
+            trace: None,
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve-bench: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| die(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--addr" => config.addr = Some(value("--addr")),
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| die("bad --workers")),
+            "--queue-cap" => config.queue_cap = value("--queue-cap").parse().unwrap_or_else(|_| die("bad --queue-cap")),
+            "--clients" => config.clients = value("--clients").parse().unwrap_or_else(|_| die("bad --clients")),
+            "--requests" => config.requests = Some(value("--requests").parse().unwrap_or_else(|_| die("bad --requests"))),
+            "--duration" => {
+                let secs: f64 = value("--duration").parse().unwrap_or_else(|_| die("bad --duration"));
+                config.duration = Duration::from_secs_f64(secs);
+            }
+            "--timeout-ms" => config.timeout_ms = value("--timeout-ms").parse().unwrap_or_else(|_| die("bad --timeout-ms")),
+            "--dir" => config.dir = PathBuf::from(value("--dir")),
+            "--max-bytes" => config.max_bytes = value("--max-bytes").parse().unwrap_or_else(|_| die("bad --max-bytes")),
+            "--out" => config.out = PathBuf::from(value("--out")),
+            "--trace" => config.trace = Some(value("--trace")),
+            "--help" | "-h" => {
+                println!("usage: serve-bench [--addr HOST:PORT] [--workers N] [--queue-cap N]");
+                println!("                   [--clients N] [--requests N] [--duration SECS]");
+                println!("                   [--timeout-ms N] [--dir PATH] [--max-bytes N]");
+                println!("                   [--out PATH] [--trace PATH|stderr]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+    config
+}
+
+#[derive(Default)]
+struct ClientTally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    valid: u64,
+    invalid: u64,
+    unknown: u64,
+    overloaded: u64,
+    errors: u64,
+}
+
+fn main() {
+    let config = parse_args();
+    match &config.trace {
+        Some(target) => {
+            if let Err(e) = sufsat_obs::init_to(target) {
+                die(&format!("cannot open trace target {target}: {e}"));
+            }
+        }
+        None => {
+            sufsat_obs::init_from_env();
+        }
+    }
+
+    // Workload: every .suf file in the directory, size-capped, sorted by
+    // name so runs are reproducible.
+    let mut files: Vec<(String, String)> = Vec::new();
+    let entries = std::fs::read_dir(&config.dir)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", config.dir.display())));
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "suf"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let meta = std::fs::metadata(&path);
+        if meta.map(|m| m.len() > config.max_bytes).unwrap_or(true) {
+            continue;
+        }
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            files.push((name, text));
+        }
+    }
+    if files.is_empty() {
+        die(&format!("no usable .suf files under {}", config.dir.display()));
+    }
+    let files = Arc::new(files);
+
+    // The server: external, or an in-process one we own.
+    let handle = if config.addr.is_some() {
+        None
+    } else {
+        let opts = ServeOptions {
+            workers: config.workers,
+            queue_cap: config.queue_cap,
+            ..ServeOptions::default()
+        };
+        Some(Server::bind("127.0.0.1:0", opts).unwrap_or_else(|e| die(&format!("bind: {e}"))))
+    };
+    let addr = config
+        .addr
+        .clone()
+        .unwrap_or_else(|| handle.as_ref().unwrap().local_addr().to_string());
+
+    eprintln!(
+        "serve-bench: {} clients x {} against {} ({} workload files, timeout {} ms)",
+        config.clients,
+        config
+            .requests
+            .map(|n| format!("{n} requests"))
+            .unwrap_or_else(|| format!("{:.1}s", config.duration.as_secs_f64())),
+        addr,
+        files.len(),
+        config.timeout_ms,
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for client_idx in 0..config.clients {
+            let files = Arc::clone(&files);
+            let stop = Arc::clone(&stop);
+            let addr = addr.clone();
+            let requests = config.requests;
+            let duration = config.duration;
+            let timeout_ms = config.timeout_ms;
+            joins.push(s.spawn(move || {
+                let mut tally = ClientTally::default();
+                let mut client = match Client::connect(&*addr) {
+                    Ok(c) => c,
+                    Err(_) => return tally,
+                };
+                let deadline = Instant::now() + duration;
+                let mut sent = 0usize;
+                // Stagger clients across the workload.
+                let mut next_file = client_idx % files.len();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match requests {
+                        Some(n) if sent >= n => break,
+                        None if Instant::now() >= deadline => break,
+                        _ => {}
+                    }
+                    let (_, problem) = &files[next_file];
+                    next_file = (next_file + 1) % files.len();
+                    let t0 = Instant::now();
+                    let reply = client.decide(problem, Some(Duration::from_millis(timeout_ms)));
+                    let lat = t0.elapsed().as_micros() as u64;
+                    sent += 1;
+                    match reply {
+                        Ok(reply) => match reply_status(&reply) {
+                            "ok" => {
+                                tally.ok += 1;
+                                tally.latencies_us.push(lat);
+                                match reply_verdict(&reply) {
+                                    "valid" => tally.valid += 1,
+                                    "invalid" => tally.invalid += 1,
+                                    _ => tally.unknown += 1,
+                                }
+                            }
+                            "overloaded" => tally.overloaded += 1,
+                            _ => tally.errors += 1,
+                        },
+                        Err(_) => {
+                            tally.errors += 1;
+                            break;
+                        }
+                    }
+                }
+                tally
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let wall = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut ok = 0u64;
+    let mut valid = 0u64;
+    let mut invalid = 0u64;
+    let mut unknown = 0u64;
+    let mut overloaded = 0u64;
+    let mut errors = 0u64;
+    for t in &tallies {
+        latencies.extend_from_slice(&t.latencies_us);
+        ok += t.ok;
+        valid += t.valid;
+        invalid += t.invalid;
+        unknown += t.unknown;
+        overloaded += t.overloaded;
+        errors += t.errors;
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let total = ok + overloaded + errors;
+    let throughput = if wall.as_secs_f64() > 0.0 {
+        total as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    let overload_rate = if total > 0 {
+        overloaded as f64 / total as f64
+    } else {
+        0.0
+    };
+
+    // Ask the daemon for its own view before draining it.
+    let server_counters = Client::connect(&*addr)
+        .ok()
+        .and_then(|mut c| c.stats().ok())
+        .and_then(|reply| reply.get("counters").map(render_json));
+    let report = handle.map(|h| h.shutdown());
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"sufsat-serve-bench-v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"clients\": {}, \"workers\": {}, \"queue_cap\": {}, \"timeout_ms\": {}, \"duration_s\": {:.3}, \"workload_files\": {}, \"external_addr\": {}}},\n",
+        config.clients,
+        config.workers,
+        config.queue_cap,
+        config.timeout_ms,
+        config.duration.as_secs_f64(),
+        files.len(),
+        config.addr.is_some(),
+    ));
+    out.push_str(&format!(
+        "  \"totals\": {{\"requests\": {total}, \"ok\": {ok}, \"valid\": {valid}, \"invalid\": {invalid}, \"unknown\": {unknown}, \"overloaded\": {overloaded}, \"errors\": {errors}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99),
+        latencies.last().copied().unwrap_or(0),
+    ));
+    out.push_str(&format!(
+        "  \"throughput_rps\": {throughput:.2},\n  \"overload_rate\": {overload_rate:.4},\n  \"wall_s\": {:.3}",
+        wall.as_secs_f64()
+    ));
+    if let Some(counters) = server_counters {
+        out.push_str(&format!(",\n  \"server_counters\": {counters}"));
+    }
+    if let Some(report) = &report {
+        out.push_str(&format!(
+            ",\n  \"drained\": {{\"inflight\": {}, \"queued\": {}, \"open_sessions\": {}}}",
+            report.inflight, report.queued, report.open_sessions
+        ));
+    }
+    out.push_str("\n}\n");
+
+    let mut f = std::fs::File::create(&config.out)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", config.out.display())));
+    f.write_all(out.as_bytes())
+        .unwrap_or_else(|e| die(&format!("write failed: {e}")));
+    eprintln!(
+        "serve-bench: {} requests in {:.2}s ({:.1} req/s) | p50 {} us, p95 {} us | {} overloaded, {} errors -> {}",
+        total,
+        wall.as_secs_f64(),
+        throughput,
+        pct(0.50),
+        pct(0.95),
+        overloaded,
+        errors,
+        config.out.display(),
+    );
+    sufsat_obs::emit_counter_records();
+    sufsat_obs::shutdown();
+}
+

@@ -1,0 +1,177 @@
+//! A bounded MPMC job queue with drain support — the admission-control
+//! valve between connection readers and the worker pool.
+//!
+//! Readers never block on the queue: [`JobQueue::try_push`] either admits
+//! the job or reports *why* it could not (full ⇒ the caller replies
+//! `overloaded` immediately; draining ⇒ the caller replies `error`).
+//! Workers block in [`JobQueue::pop`], which returns `None` once the
+//! queue is draining *and* empty — the worker-exit signal.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`JobQueue::try_push`] rejected a job. Carries the job back so
+/// the caller can recover its reply channel.
+pub enum PushError<T> {
+    /// The queue is at capacity: admission control rejects the request.
+    Full(T),
+    /// The server is draining: no new work is admitted.
+    Draining(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    draining: bool,
+}
+
+/// The bounded MPMC queue.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `cap` jobs at a time.
+    pub fn new(cap: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap.min(1024)),
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits a job without ever blocking.
+    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.draining {
+            return Err(PushError::Draining(job));
+        }
+        if inner.items.len() >= self.cap {
+            return Err(PushError::Full(job));
+        }
+        inner.items.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once draining and empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = inner.items.pop_front() {
+                return Some(job);
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admission and wakes every blocked worker; queued jobs are
+    /// still handed out until the queue runs dry.
+    pub fn begin_drain(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.draining = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (excludes jobs being executed).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_admission() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            _ => panic!("expected Full"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_rejects_and_releases_workers() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(4));
+        q.try_push(7).ok();
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(j) = q.pop() {
+                    seen.push(j);
+                }
+                seen
+            })
+        };
+        // Give the worker a chance to park, then drain.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.begin_drain();
+        match q.try_push(8) {
+            Err(PushError::Draining(8)) => {}
+            _ => panic!("expected Draining"),
+        }
+        let seen = worker.join().unwrap();
+        assert_eq!(seen, vec![7]);
+    }
+
+    #[test]
+    fn mpmc_under_contention() {
+        let q: Arc<JobQueue<u64>> = Arc::new(JobQueue::new(64));
+        let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    while let Some(j) = q.pop() {
+                        total.fetch_add(j, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+            s.spawn(|| {
+                let mut pushed = 0u64;
+                let mut next = 1u64;
+                while pushed < 1000 {
+                    if q.try_push(next).is_ok() {
+                        pushed += 1;
+                        next += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                q.begin_drain();
+            });
+        });
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed),
+            1000 * 1001 / 2
+        );
+    }
+}

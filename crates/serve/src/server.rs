@@ -1,0 +1,1330 @@
+//! The resident daemon: acceptor, connection readers/writers, the
+//! worker pool, admission control, deadline propagation and graceful
+//! drain-then-stop shutdown.
+//!
+//! # Threads
+//!
+//! * one **acceptor** blocks in `TcpListener::accept` and spawns a
+//!   reader/writer thread pair per connection;
+//! * each connection **reader** parses frames and *admits* jobs — it
+//!   never executes a solve itself, so it stays responsive and notices
+//!   disconnects promptly even while this client's solve is running;
+//! * each connection **writer** drains a channel of reply frames, so
+//!   workers never block on a slow client socket;
+//! * `workers` **solver threads** pull jobs from the bounded
+//!   [`JobQueue`] and run them against the `sufsat-core` /
+//!   `sufsat-incremental` stack.
+//!
+//! # Admission control
+//!
+//! The queue is bounded ([`ServeOptions::queue_cap`]). A request that
+//! does not fit is answered `overloaded` *immediately* — the reader
+//! thread never blocks on the queue, so under overload clients get fast
+//! rejections instead of unbounded latency.
+//!
+//! # Deadlines and cancellation
+//!
+//! A request's `timeout_ms` starts at admission. The worker propagates
+//! whatever remains into [`Solver::set_timeout`]-backed options and a
+//! per-job [`CancelToken`]. A client that disconnects mid-solve has all
+//! of its in-flight tokens cancelled by the reader's cleanup, so its
+//! lane frees up within the solver's cancellation-poll latency.
+//!
+//! # Session ownership
+//!
+//! Incremental sessions belong to the connection that opened them. Ops
+//! on one session execute in request order (a scheduled-slot pattern:
+//! the session's op queue is drained by one worker at a time), and a
+//! dropped connection reclaims every session it owned.
+//!
+//! [`Solver::set_timeout`]: sufsat_sat::Solver::set_timeout
+//! [`CancelToken`]: sufsat_sat::CancelToken
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sufsat_core::{
+    decide, decide_portfolio, DecideOptions, Outcome, PortfolioOptions, StopReason,
+};
+use sufsat_incremental::Session;
+use sufsat_sat::CancelToken;
+use sufsat_suf::{parse_problem, Sort, TermManager};
+
+use crate::protocol::{
+    error_reply, overloaded_reply, parse_request, read_frame, write_frame, FrameError, Op,
+    ReplyBuilder, Request, DEFAULT_MAX_FRAME,
+};
+use crate::queue::{JobQueue, PushError};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker (solver) threads. Default: available parallelism, capped
+    /// at 8.
+    pub workers: usize,
+    /// Bound on queued jobs; the admission-control knob. Also bounds
+    /// each session's private op backlog.
+    pub queue_cap: usize,
+    /// Cap on one frame's payload bytes.
+    pub max_frame: usize,
+    /// Deadline applied to requests that do not carry `timeout_ms`.
+    /// `None` means such requests run unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Cap on concurrently open sessions per connection.
+    pub session_limit: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4);
+        ServeOptions {
+            workers,
+            queue_cap: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            default_deadline: None,
+            session_limit: 64,
+        }
+    }
+}
+
+/// Monotonically increasing counters, snapshotted by the `stats` op and
+/// by [`ServeReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Requests parsed (all ops, before admission).
+    pub requests: u64,
+    /// `ok` replies sent.
+    pub ok: u64,
+    /// `error` replies sent.
+    pub errors: u64,
+    /// `overloaded` rejections.
+    pub overloaded: u64,
+    /// Solves whose verdict was `unknown:timeout` (including deadlines
+    /// that expired while the job was still queued).
+    pub timeouts: u64,
+    /// Deadlines that expired before the worker even started the job.
+    pub deadline_expired: u64,
+    /// Jobs retired because their connection vanished mid-flight.
+    pub cancelled: u64,
+    /// Jobs that panicked (contained; the worker survives).
+    pub panics: u64,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+}
+
+/// Final state handed back by [`ServerHandle::shutdown`] /
+/// [`ServerHandle::wait`]; the soak tests assert the drain invariants on
+/// it.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Jobs admitted but not completed at stop. Zero after a clean drain.
+    pub inflight: i64,
+    /// Jobs still queued at stop. Zero after a clean drain.
+    pub queued: usize,
+    /// Sessions still owned by some connection at stop. Zero once every
+    /// connection was reaped.
+    pub open_sessions: i64,
+    /// The counters at stop.
+    pub counters: CounterSnapshot,
+}
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_STOPPED: u8 = 2;
+
+struct Shared {
+    opts: ServeOptions,
+    queue: JobQueue<Work>,
+    state: AtomicU8,
+    inflight: AtomicI64,
+    open_sessions: AtomicI64,
+    connections: AtomicI64,
+    next_session: AtomicU64,
+    next_job: AtomicU64,
+    started: Instant,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    c_requests: AtomicU64,
+    c_ok: AtomicU64,
+    c_errors: AtomicU64,
+    c_overloaded: AtomicU64,
+    c_timeouts: AtomicU64,
+    c_deadline_expired: AtomicU64,
+    c_cancelled: AtomicU64,
+    c_panics: AtomicU64,
+    c_sessions_opened: AtomicU64,
+}
+
+impl Shared {
+    fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            requests: self.c_requests.load(Ordering::Relaxed),
+            ok: self.c_ok.load(Ordering::Relaxed),
+            errors: self.c_errors.load(Ordering::Relaxed),
+            overloaded: self.c_overloaded.load(Ordering::Relaxed),
+            timeouts: self.c_timeouts.load(Ordering::Relaxed),
+            deadline_expired: self.c_deadline_expired.load(Ordering::Relaxed),
+            cancelled: self.c_cancelled.load(Ordering::Relaxed),
+            panics: self.c_panics.load(Ordering::Relaxed),
+            sessions_opened: self.c_sessions_opened.load(Ordering::Relaxed),
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.state.load(Ordering::Acquire) != STATE_RUNNING
+    }
+
+    fn begin_drain(&self) {
+        let flipped = self
+            .state
+            .compare_exchange(
+                STATE_RUNNING,
+                STATE_DRAINING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if flipped {
+            sufsat_obs::event!("serve.drain", queued = self.queue.len() as u64);
+            self.queue.begin_drain();
+            self.maybe_signal_drained();
+        }
+    }
+
+    fn maybe_signal_drained(&self) {
+        if self.draining()
+            && self.inflight.load(Ordering::Acquire) == 0
+            && self.queue.is_empty()
+        {
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn gauges(&self) {
+        static QUEUE_DEPTH: sufsat_obs::Gauge = sufsat_obs::Gauge::new("serve.queue_depth");
+        static INFLIGHT: sufsat_obs::Gauge = sufsat_obs::Gauge::new("serve.inflight");
+        static SESSIONS: sufsat_obs::Gauge = sufsat_obs::Gauge::new("serve.open_sessions");
+        static CONNS: sufsat_obs::Gauge = sufsat_obs::Gauge::new("serve.connections");
+        QUEUE_DEPTH.set(self.queue.len() as i64);
+        INFLIGHT.set(self.inflight.load(Ordering::Relaxed));
+        SESSIONS.set(self.open_sessions.load(Ordering::Relaxed));
+        CONNS.set(self.connections.load(Ordering::Relaxed));
+    }
+}
+
+/// Per-connection state shared between the reader, the workers running
+/// this connection's jobs, and cleanup.
+struct ConnShared {
+    conn_id: u64,
+    /// Cancel tokens of this connection's in-flight jobs, keyed by job
+    /// id. Cleanup cancels them all so a disconnect retires its lanes.
+    live: Mutex<HashMap<u64, CancelToken>>,
+    dead: std::sync::atomic::AtomicBool,
+}
+
+impl ConnShared {
+    fn new(conn_id: u64) -> ConnShared {
+        ConnShared {
+            conn_id,
+            live: Mutex::new(HashMap::new()),
+            dead: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+}
+
+enum SlotState {
+    Idle(Box<Session>),
+    Busy,
+    Closed,
+}
+
+struct SlotInner {
+    state: SlotState,
+    pending: std::collections::VecDeque<SessionOpJob>,
+    scheduled: bool,
+}
+
+/// One incremental session plus its serialization machinery.
+struct SessionSlot {
+    session_id: u64,
+    inner: Mutex<SlotInner>,
+}
+
+enum SessionOpKind {
+    Assert(String),
+    Push,
+    Pop,
+    Check,
+    Close,
+}
+
+impl SessionOpKind {
+    fn label(&self) -> &'static str {
+        match self {
+            SessionOpKind::Assert(_) => "session-assert",
+            SessionOpKind::Push => "session-push",
+            SessionOpKind::Pop => "session-pop",
+            SessionOpKind::Check => "session-check",
+            SessionOpKind::Close => "session-close",
+        }
+    }
+}
+
+struct SessionOpJob {
+    id: Option<u64>,
+    kind: SessionOpKind,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    job_key: u64,
+    reply: Sender<Vec<u8>>,
+    conn: Arc<ConnShared>,
+}
+
+struct DecideJob {
+    id: Option<u64>,
+    portfolio: bool,
+    problem: String,
+    options: DecideOptions,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    job_key: u64,
+    reply: Sender<Vec<u8>>,
+    conn: Arc<ConnShared>,
+}
+
+enum Work {
+    Decide(Box<DecideJob>),
+    Session(Arc<SessionSlot>),
+}
+
+/// Factory for a running server. See the module docs for the design.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` and starts the acceptor plus the worker pool.
+    pub fn bind(addr: impl ToSocketAddrs, opts: ServeOptions) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = opts.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(opts.queue_cap),
+            opts,
+            state: AtomicU8::new(STATE_RUNNING),
+            inflight: AtomicI64::new(0),
+            open_sessions: AtomicI64::new(0),
+            connections: AtomicI64::new(0),
+            next_session: AtomicU64::new(1),
+            next_job: AtomicU64::new(1),
+            started: Instant::now(),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            conn_streams: Mutex::new(HashMap::new()),
+            conn_handles: Mutex::new(Vec::new()),
+            c_requests: AtomicU64::new(0),
+            c_ok: AtomicU64::new(0),
+            c_errors: AtomicU64::new(0),
+            c_overloaded: AtomicU64::new(0),
+            c_timeouts: AtomicU64::new(0),
+            c_deadline_expired: AtomicU64::new(0),
+            c_cancelled: AtomicU64::new(0),
+            c_panics: AtomicU64::new(0),
+            c_sessions_opened: AtomicU64::new(0),
+        });
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sufsat-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sufsat-acceptor".to_owned())
+                .spawn(move || acceptor_loop(&shared, listener))
+                .expect("spawn acceptor")
+        };
+        sufsat_obs::event!(
+            "serve.start",
+            workers = workers as u64,
+            queue_cap = shared.opts.queue_cap as u64,
+            port = local_addr.port() as u64,
+        );
+        Ok(ServerHandle {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// Owner handle of a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable trigger that starts the graceful drain from any thread —
+/// the SIGTERM hook of the `sufsat serve` binary uses one.
+#[derive(Clone)]
+pub struct ShutdownTrigger {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownTrigger {
+    /// Starts the drain: admission stops, queued and running jobs
+    /// complete, then the server stops.
+    pub fn begin(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Whether the drain has already started (via any trigger, a
+    /// protocol `shutdown` request, or [`ServerHandle::shutdown`]).
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A trigger other threads can use to start the drain.
+    pub fn trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Starts the drain and blocks until the server stopped.
+    pub fn shutdown(self) -> ServeReport {
+        self.shared.begin_drain();
+        self.finalize()
+    }
+
+    /// Blocks until a `shutdown` request (or a [`ShutdownTrigger`])
+    /// drains the server, then stops it.
+    pub fn wait(self) -> ServeReport {
+        self.finalize()
+    }
+
+    fn finalize(mut self) -> ServeReport {
+        {
+            let mut done = self
+                .shared
+                .done
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            while !*done {
+                done = self
+                    .shared
+                    .done_cv
+                    .wait(done)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        self.shared.state.store(STATE_STOPPED, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection, then force
+        // remaining (idle) client connections closed so their readers
+        // see EOF and clean up.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        {
+            let streams = self
+                .shared
+                .conn_streams
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for stream in streams.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        let conn_handles = std::mem::take(
+            &mut *self
+                .shared
+                .conn_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in conn_handles {
+            let _ = h.join();
+        }
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+        let report = ServeReport {
+            inflight: self.shared.inflight.load(Ordering::Acquire),
+            queued: self.shared.queue.len(),
+            open_sessions: self.shared.open_sessions.load(Ordering::Acquire),
+            counters: self.shared.counters(),
+        };
+        sufsat_obs::event!(
+            "serve.stop",
+            inflight = report.inflight,
+            open_sessions = report.open_sessions,
+            requests = report.counters.requests,
+        );
+        report
+    }
+}
+
+// ---- acceptor & connections -------------------------------------------
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.state.load(Ordering::Acquire) == STATE_STOPPED {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.state.load(Ordering::Acquire) == STATE_STOPPED {
+            return;
+        }
+        if shared.draining() {
+            // Drain phase: no new conversations.
+            let mut s = stream;
+            let _ = write_frame(&mut s, &error_reply(None, "server is shutting down"));
+            continue;
+        }
+        let conn_id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conn_streams
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(conn_id, clone);
+        }
+        shared.connections.fetch_add(1, Ordering::AcqRel);
+        shared.gauges();
+        let shared2 = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("sufsat-conn-{conn_id}"))
+            .spawn(move || serve_connection(&shared2, conn_id, stream))
+            .expect("spawn connection thread");
+        shared
+            .conn_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let conn = Arc::new(ConnShared::new(conn_id));
+    let mut sessions: HashMap<u64, Arc<SessionSlot>> = HashMap::new();
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    let writer = match stream.try_clone() {
+        Ok(write_half) => Some(
+            std::thread::Builder::new()
+                .name(format!("sufsat-conn-{conn_id}-w"))
+                .spawn(move || writer_loop(write_half, rx))
+                .expect("spawn connection writer"),
+        ),
+        Err(_) => None,
+    };
+    if writer.is_some() {
+        let mut reader = BufReader::new(stream);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            read_loop(shared, &conn, &mut sessions, &mut reader, &tx)
+        }));
+        if result.is_err() {
+            shared.c_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    cleanup_connection(shared, &conn, &mut sessions);
+    drop(tx);
+    if let Some(w) = writer {
+        let _ = w.join();
+    }
+    shared
+        .conn_streams
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&conn_id);
+    shared.connections.fetch_sub(1, Ordering::AcqRel);
+    shared.gauges();
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    let mut w = io::BufWriter::new(stream);
+    while let Ok(payload) = rx.recv() {
+        if write_frame(&mut w, &payload).is_err() {
+            return;
+        }
+    }
+    let _ = w.flush();
+}
+
+fn send(reply: &Sender<Vec<u8>>, payload: Vec<u8>) {
+    let _ = reply.send(payload);
+}
+
+/// Cancels the connection's in-flight jobs and reclaims its sessions.
+/// Idempotent; runs when the reader finishes for any reason.
+fn cleanup_connection(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    sessions: &mut HashMap<u64, Arc<SessionSlot>>,
+) {
+    if conn.dead.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let live = conn.live.lock().unwrap_or_else(|e| e.into_inner());
+    let retired = live.len() as u64;
+    for token in live.values() {
+        token.cancel();
+    }
+    drop(live);
+    for (_, slot) in sessions.drain() {
+        let mut inner = slot.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // Queued-but-unstarted ops die with the connection: account
+        // their in-flight slots back. A Busy op stays counted; its
+        // cancelled worker completes it.
+        let dropped = inner.pending.len() as i64;
+        inner.pending.clear();
+        match std::mem::replace(&mut inner.state, SlotState::Closed) {
+            SlotState::Idle(session) => {
+                drop(session);
+                shared.open_sessions.fetch_sub(1, Ordering::AcqRel);
+            }
+            // Busy: the worker observes `Closed` when it tries to put
+            // the session back and drops it then.
+            SlotState::Busy | SlotState::Closed => {}
+        }
+        drop(inner);
+        if dropped > 0 {
+            shared.inflight.fetch_sub(dropped, Ordering::AcqRel);
+        }
+    }
+    if retired > 0 {
+        shared.c_cancelled.fetch_add(retired, Ordering::Relaxed);
+        sufsat_obs::event!("serve.conn.reaped", conn = conn.conn_id, cancelled = retired);
+    }
+    shared.gauges();
+    shared.maybe_signal_drained();
+}
+
+fn read_loop(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    sessions: &mut HashMap<u64, Arc<SessionSlot>>,
+    reader: &mut impl Read,
+    tx: &Sender<Vec<u8>>,
+) {
+    loop {
+        match read_frame(reader, shared.opts.max_frame) {
+            Ok(payload) => {
+                if !handle_payload(shared, conn, sessions, &payload, tx) {
+                    return;
+                }
+            }
+            Err(e @ FrameError::Empty) => {
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                send(tx, error_reply(None, &e.to_string()));
+            }
+            Err(FrameError::Closed) => return,
+            Err(e @ FrameError::TooLarge(_)) => {
+                // The stream is out of sync past this point: one last
+                // diagnostic, then hang up.
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                send(tx, error_reply(None, &e.to_string()));
+                return;
+            }
+            Err(FrameError::Truncated) | Err(FrameError::Io(_)) => return,
+        }
+    }
+}
+
+/// Handles one parsed frame. Returns `false` when the connection should
+/// close.
+fn handle_payload(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    sessions: &mut HashMap<u64, Arc<SessionSlot>>,
+    payload: &[u8],
+    tx: &Sender<Vec<u8>>,
+) -> bool {
+    let req = match parse_request(payload) {
+        Ok(req) => req,
+        Err((id, message)) => {
+            shared.c_errors.fetch_add(1, Ordering::Relaxed);
+            send(tx, error_reply(id, &message));
+            return true;
+        }
+    };
+    shared.c_requests.fetch_add(1, Ordering::Relaxed);
+    static REQUESTS: sufsat_obs::Counter = sufsat_obs::Counter::new("serve.requests");
+    REQUESTS.incr();
+    let id = req.id;
+    match req.op {
+        Op::Stats => {
+            send(tx, stats_reply(shared, id));
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Op::Shutdown => {
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            send(
+                tx,
+                ReplyBuilder::new(id, "ok").str_field("draining", "true").finish(),
+            );
+            shared.begin_drain();
+            true
+        }
+        Op::SessionOpen => {
+            if shared.draining() {
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                send(tx, error_reply(id, "server is shutting down"));
+                return true;
+            }
+            if sessions.len() >= shared.opts.session_limit {
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    tx,
+                    error_reply(id, "session limit reached for this connection"),
+                );
+                return true;
+            }
+            let mut options = DecideOptions::default();
+            if let Some(mode) = req.mode {
+                options.mode = mode;
+            }
+            if let Some(cnf) = req.cnf {
+                options.cnf = cnf;
+            }
+            options.preprocess = req.preprocess;
+            let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            let slot = Arc::new(SessionSlot {
+                session_id,
+                inner: Mutex::new(SlotInner {
+                    state: SlotState::Idle(Box::new(Session::new(options))),
+                    pending: std::collections::VecDeque::new(),
+                    scheduled: false,
+                }),
+            });
+            sessions.insert(session_id, slot);
+            shared.open_sessions.fetch_add(1, Ordering::AcqRel);
+            shared.c_sessions_opened.fetch_add(1, Ordering::Relaxed);
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            shared.gauges();
+            sufsat_obs::event!("serve.session.open", conn = conn.conn_id, session = session_id);
+            send(
+                tx,
+                ReplyBuilder::new(id, "ok").u64_field("session", session_id).finish(),
+            );
+            true
+        }
+        Op::SessionAssert | Op::SessionPush | Op::SessionPop | Op::SessionCheck
+        | Op::SessionClose => {
+            let session_id = req.session.expect("validated by parse_request");
+            let Some(slot) = sessions.get(&session_id).cloned() else {
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                send(tx, error_reply(id, &format!("unknown session {session_id}")));
+                return true;
+            };
+            let kind = match req.op {
+                Op::SessionAssert => {
+                    SessionOpKind::Assert(req.problem.clone().expect("validated"))
+                }
+                Op::SessionPush => SessionOpKind::Push,
+                Op::SessionPop => SessionOpKind::Pop,
+                Op::SessionCheck => SessionOpKind::Check,
+                Op::SessionClose => SessionOpKind::Close,
+                _ => unreachable!(),
+            };
+            let close = matches!(kind, SessionOpKind::Close);
+            let admitted = enqueue_session_op(shared, conn, &slot, &req, kind, tx);
+            if close && admitted {
+                // The queued close op retires the slot; stop tracking it
+                // so cleanup does not race it. A rejected close keeps the
+                // session alive (and tracked).
+                sessions.remove(&session_id);
+            }
+            true
+        }
+        Op::Decide | Op::DecidePortfolio => {
+            if shared.draining() {
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                send(tx, error_reply(id, "server is shutting down"));
+                return true;
+            }
+            let mut options = DecideOptions::default();
+            if let Some(mode) = req.mode {
+                options.mode = mode;
+            }
+            if let Some(cnf) = req.cnf {
+                options.cnf = cnf;
+            }
+            options.preprocess = req.preprocess;
+            let cancel = CancelToken::new();
+            let job_key = shared.next_job.fetch_add(1, Ordering::Relaxed);
+            let job = Box::new(DecideJob {
+                id,
+                portfolio: matches!(req.op, Op::DecidePortfolio),
+                problem: req.problem.clone().expect("validated"),
+                options,
+                deadline: deadline_of(shared, &req),
+                cancel: cancel.clone(),
+                job_key,
+                reply: tx.clone(),
+                conn: Arc::clone(conn),
+            });
+            admit(shared, conn, job_key, cancel, id, Work::Decide(job), tx);
+            true
+        }
+    }
+}
+
+fn deadline_of(shared: &Shared, req: &Request) -> Option<Instant> {
+    req.timeout_ms
+        .map(|ms| Duration::from_millis(ms))
+        .or(shared.opts.default_deadline)
+        .map(|d| Instant::now() + d)
+}
+
+/// Registers the job as in-flight and pushes it; on rejection, rolls the
+/// registration back and replies immediately.
+fn admit(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    job_key: u64,
+    cancel: CancelToken,
+    id: Option<u64>,
+    work: Work,
+    tx: &Sender<Vec<u8>>,
+) -> bool {
+    shared.inflight.fetch_add(1, Ordering::AcqRel);
+    conn.live
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(job_key, cancel);
+    match shared.queue.try_push(work) {
+        Ok(()) => {
+            shared.gauges();
+            true
+        }
+        Err(PushError::Full(_)) => {
+            rollback_admission(shared, conn, job_key);
+            shared.c_overloaded.fetch_add(1, Ordering::Relaxed);
+            static OVERLOADED: sufsat_obs::Counter = sufsat_obs::Counter::new("serve.overloaded");
+            OVERLOADED.incr();
+            sufsat_obs::event!("serve.overloaded", conn = conn.conn_id);
+            send(tx, overloaded_reply(id));
+            false
+        }
+        Err(PushError::Draining(_)) => {
+            rollback_admission(shared, conn, job_key);
+            shared.c_errors.fetch_add(1, Ordering::Relaxed);
+            send(tx, error_reply(id, "server is shutting down"));
+            false
+        }
+    }
+}
+
+fn rollback_admission(shared: &Arc<Shared>, conn: &Arc<ConnShared>, job_key: u64) {
+    conn.live
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&job_key);
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Returns whether the op was admitted (a reply was sent either way).
+fn enqueue_session_op(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    slot: &Arc<SessionSlot>,
+    req: &Request,
+    kind: SessionOpKind,
+    tx: &Sender<Vec<u8>>,
+) -> bool {
+    let id = req.id;
+    if shared.draining() {
+        shared.c_errors.fetch_add(1, Ordering::Relaxed);
+        send(tx, error_reply(id, "server is shutting down"));
+        return false;
+    }
+    let cancel = CancelToken::new();
+    let job_key = shared.next_job.fetch_add(1, Ordering::Relaxed);
+    let job = SessionOpJob {
+        id,
+        kind,
+        deadline: deadline_of(shared, req),
+        cancel: cancel.clone(),
+        job_key,
+        reply: tx.clone(),
+        conn: Arc::clone(conn),
+    };
+    let must_schedule = {
+        let mut inner = slot.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(inner.state, SlotState::Closed) {
+            drop(inner);
+            shared.c_errors.fetch_add(1, Ordering::Relaxed);
+            send(tx, error_reply(id, "session already closed"));
+            return false;
+        }
+        if inner.pending.len() >= shared.opts.queue_cap {
+            drop(inner);
+            shared.c_overloaded.fetch_add(1, Ordering::Relaxed);
+            send(tx, overloaded_reply(id));
+            return false;
+        }
+        inner.pending.push_back(job);
+        shared.inflight.fetch_add(1, Ordering::AcqRel);
+        conn.live
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(job_key, cancel);
+        if inner.scheduled {
+            false
+        } else {
+            inner.scheduled = true;
+            true
+        }
+    };
+    if !must_schedule {
+        shared.gauges();
+        return true;
+    }
+    match shared.queue.try_push(Work::Session(Arc::clone(slot))) {
+        Ok(()) => {
+            shared.gauges();
+            true
+        }
+        Err(err) => {
+            // Roll the op (and the schedule) back and reply.
+            let job = {
+                let mut inner = slot.inner.lock().unwrap_or_else(|e| e.into_inner());
+                inner.scheduled = false;
+                inner.pending.pop_back()
+            };
+            if let Some(job) = job {
+                rollback_admission(shared, conn, job.job_key);
+                match err {
+                    PushError::Full(_) => {
+                        shared.c_overloaded.fetch_add(1, Ordering::Relaxed);
+                        send(tx, overloaded_reply(job.id));
+                    }
+                    PushError::Draining(_) => {
+                        shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                        send(tx, error_reply(job.id, "server is shutting down"));
+                    }
+                }
+            }
+            false
+        }
+    }
+}
+
+fn stats_reply(shared: &Arc<Shared>, id: Option<u64>) -> Vec<u8> {
+    let c = shared.counters();
+    let counters = format!(
+        "{{\"requests\":{},\"ok\":{},\"errors\":{},\"overloaded\":{},\"timeouts\":{},\
+         \"deadline_expired\":{},\"cancelled\":{},\"panics\":{},\"sessions_opened\":{}}}",
+        c.requests,
+        c.ok,
+        c.errors,
+        c.overloaded,
+        c.timeouts,
+        c.deadline_expired,
+        c.cancelled,
+        c.panics,
+        c.sessions_opened,
+    );
+    ReplyBuilder::new(id, "ok")
+        .u64_field("uptime_us", shared.started.elapsed().as_micros() as u64)
+        .i64_field("inflight", shared.inflight.load(Ordering::Acquire))
+        .u64_field("queue_depth", shared.queue.len() as u64)
+        .i64_field("open_sessions", shared.open_sessions.load(Ordering::Acquire))
+        .i64_field("connections", shared.connections.load(Ordering::Acquire))
+        .str_field("state", if shared.draining() { "draining" } else { "running" })
+        .raw_field("counters", &counters)
+        .finish()
+}
+
+// ---- workers ----------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(work) = shared.queue.pop() {
+        match work {
+            Work::Decide(job) => run_decide_job(shared, *job),
+            Work::Session(slot) => run_session_slot(shared, &slot),
+        }
+        shared.gauges();
+        shared.maybe_signal_drained();
+    }
+}
+
+fn complete_job(shared: &Arc<Shared>, conn: &ConnShared, job_key: u64) {
+    conn.live
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&job_key);
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn outcome_verdict(outcome: &Outcome) -> (&'static str, Option<&'static str>) {
+    match outcome {
+        Outcome::Valid => ("valid", None),
+        Outcome::Invalid(_) => ("invalid", None),
+        Outcome::Unknown(StopReason::TranslationBudget) => ("unknown", Some("translation_budget")),
+        Outcome::Unknown(StopReason::ConflictBudget) => ("unknown", Some("conflict_budget")),
+        Outcome::Unknown(StopReason::Timeout) => ("unknown", Some("timeout")),
+        Outcome::Unknown(StopReason::Cancelled) => ("unknown", Some("cancelled")),
+    }
+}
+
+fn verdict_reply(
+    id: Option<u64>,
+    outcome: &Outcome,
+    time_us: u64,
+    extra: &[(&str, u64)],
+    winner: Option<&str>,
+) -> Vec<u8> {
+    let (verdict, reason) = outcome_verdict(outcome);
+    let mut b = ReplyBuilder::new(id, "ok").str_field("verdict", verdict);
+    if let Some(reason) = reason {
+        b = b.str_field("reason", reason);
+    }
+    if let Some(winner) = winner {
+        b = b.str_field("winner", winner);
+    }
+    b = b.u64_field("time_us", time_us);
+    for &(k, v) in extra {
+        b = b.u64_field(k, v);
+    }
+    b.finish()
+}
+
+/// Accounts a finished solve in the counters and returns the reply.
+fn settle_outcome(shared: &Arc<Shared>, outcome: &Outcome) {
+    match outcome {
+        Outcome::Unknown(StopReason::Timeout) => {
+            shared.c_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Unknown(StopReason::Cancelled) => {
+            shared.c_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    shared.c_ok.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Deadline bookkeeping at job start: `Ok(remaining)` to run with that
+/// budget (`None` = unbounded), `Err(reply)` when the deadline already
+/// expired in the queue.
+fn deadline_budget(
+    shared: &Arc<Shared>,
+    id: Option<u64>,
+    deadline: Option<Instant>,
+) -> Result<Option<Duration>, Vec<u8>> {
+    match deadline {
+        None => Ok(None),
+        Some(deadline) => {
+            let now = Instant::now();
+            if now >= deadline {
+                shared.c_deadline_expired.fetch_add(1, Ordering::Relaxed);
+                shared.c_timeouts.fetch_add(1, Ordering::Relaxed);
+                shared.c_ok.fetch_add(1, Ordering::Relaxed);
+                Err(verdict_reply(
+                    id,
+                    &Outcome::Unknown(StopReason::Timeout),
+                    0,
+                    &[("queue_expired", 1)],
+                    None,
+                ))
+            } else {
+                Ok(Some(deadline - now))
+            }
+        }
+    }
+}
+
+fn run_decide_job(shared: &Arc<Shared>, mut job: DecideJob) {
+    let span = sufsat_obs::span_with!(
+        "serve.request",
+        op = if job.portfolio { "decide-portfolio" } else { "decide" },
+        conn = job.conn.conn_id,
+    );
+    let started = Instant::now();
+    let reply_payload = if job.cancel.is_cancelled() {
+        shared.c_cancelled.fetch_add(1, Ordering::Relaxed);
+        error_reply(job.id, "cancelled: client disconnected")
+    } else {
+        match deadline_budget(shared, job.id, job.deadline) {
+            Err(expired) => expired,
+            Ok(budget) => {
+                job.options.timeout = budget;
+                job.options.cancel = Some(job.cancel.clone());
+                type DecideRun = Result<
+                    (sufsat_core::Outcome, sufsat_core::DecideStats, Option<&'static str>),
+                    String,
+                >;
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> DecideRun {
+                    let mut tm = TermManager::new();
+                    let phi = parse_problem(&mut tm, &job.problem)
+                        .map_err(|e| format!("parse error: {e}"))?;
+                    if job.portfolio {
+                        let options = PortfolioOptions {
+                            base: job.options.clone(),
+                            ..PortfolioOptions::default()
+                        };
+                        let d = decide_portfolio(&mut tm, phi, &options);
+                        let winner = d
+                            .winner_mode()
+                            .map(|m| mode_name(m))
+                            .unwrap_or("none");
+                        Ok((d.outcome, d.stats, Some(winner)))
+                    } else {
+                        let d = decide(&mut tm, phi, &job.options);
+                        Ok((d.outcome, d.stats, None))
+                    }
+                }));
+                match outcome {
+                    Ok(Ok((outcome, stats, winner))) => {
+                        settle_outcome(shared, &outcome);
+                        verdict_reply(
+                            job.id,
+                            &outcome,
+                            started.elapsed().as_micros() as u64,
+                            &[
+                                ("conflict_clauses", stats.conflict_clauses),
+                                ("cnf_clauses", stats.cnf_clauses),
+                            ],
+                            winner,
+                        )
+                    }
+                    Ok(Err(message)) => {
+                        shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                        error_reply(job.id, &message)
+                    }
+                    Err(_) => {
+                        shared.c_panics.fetch_add(1, Ordering::Relaxed);
+                        shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                        error_reply(job.id, "internal error: solver panicked")
+                    }
+                }
+            }
+        }
+    };
+    send(&job.reply, reply_payload);
+    complete_job(shared, &job.conn, job.job_key);
+    drop(span);
+}
+
+fn mode_name(mode: sufsat_core::EncodingMode) -> &'static str {
+    match mode {
+        sufsat_core::EncodingMode::Sd => "sd",
+        sufsat_core::EncodingMode::Eij => "eij",
+        sufsat_core::EncodingMode::Hybrid(_) => "hybrid",
+        sufsat_core::EncodingMode::FixedHybrid => "fixed-hybrid",
+    }
+}
+
+fn run_session_slot(shared: &Arc<Shared>, slot: &Arc<SessionSlot>) {
+    loop {
+        // Claim the next op and the session, or unschedule and leave.
+        let (job, session) = {
+            let mut inner = slot.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(job) = inner.pending.pop_front() else {
+                inner.scheduled = false;
+                return;
+            };
+            match std::mem::replace(&mut inner.state, SlotState::Busy) {
+                SlotState::Idle(session) => (job, Some(session)),
+                SlotState::Closed => {
+                    inner.state = SlotState::Closed;
+                    (job, None)
+                }
+                // `scheduled` guarantees a single worker per slot.
+                SlotState::Busy => unreachable!("two workers drained one session slot"),
+            }
+        };
+        let span = sufsat_obs::span_with!(
+            "serve.request",
+            op = job.kind.label(),
+            conn = job.conn.conn_id,
+            session = slot.session_id,
+        );
+        // How the claimed session leaves this iteration. Exactly the
+        // paths that drop a live `Session` decrement `open_sessions`.
+        enum Fate {
+            /// Healthy and not closed: goes back into the slot.
+            Keep(Box<Session>),
+            /// A `close` op retires it.
+            Retire(Box<Session>),
+            /// There was no session (slot closed before the claim), or a
+            /// panic destroyed it (`dropped` says which).
+            Gone { dropped: bool },
+        }
+        let closing = matches!(job.kind, SessionOpKind::Close);
+        let (payload, fate) = match session {
+            None => {
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                (
+                    error_reply(job.id, "session already closed"),
+                    Fate::Gone { dropped: false },
+                )
+            }
+            Some(mut session) => {
+                if job.cancel.is_cancelled() {
+                    shared.c_cancelled.fetch_add(1, Ordering::Relaxed);
+                    (
+                        error_reply(job.id, "cancelled: client disconnected"),
+                        Fate::Keep(session),
+                    )
+                } else {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        execute_session_op(shared, slot.session_id, &job, &mut session)
+                    }));
+                    match result {
+                        Ok(payload) if closing => (payload, Fate::Retire(session)),
+                        Ok(payload) => (payload, Fate::Keep(session)),
+                        Err(_) => {
+                            // The session's internal state can no longer
+                            // be trusted: poison it.
+                            drop(session);
+                            shared.c_panics.fetch_add(1, Ordering::Relaxed);
+                            shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                            (
+                                error_reply(
+                                    job.id,
+                                    "internal error: session op panicked; session closed",
+                                ),
+                                Fate::Gone { dropped: true },
+                            )
+                        }
+                    }
+                }
+            }
+        };
+        // Put the session back (or retire it). Connection cleanup may
+        // have marked the slot `Closed` while we were busy — it skips
+        // the decrement for busy slots, so the drop here accounts it.
+        {
+            let mut inner = slot.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let closed_while_busy = matches!(inner.state, SlotState::Closed);
+            match fate {
+                Fate::Keep(session) if !closed_while_busy => {
+                    inner.state = SlotState::Idle(session);
+                }
+                Fate::Keep(session) | Fate::Retire(session) => {
+                    drop(session);
+                    inner.state = SlotState::Closed;
+                    shared.open_sessions.fetch_sub(1, Ordering::AcqRel);
+                }
+                Fate::Gone { dropped } => {
+                    inner.state = SlotState::Closed;
+                    if dropped {
+                        shared.open_sessions.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
+        }
+        send(&job.reply, payload);
+        complete_job(shared, &job.conn, job.job_key);
+        drop(span);
+    }
+}
+
+fn execute_session_op(
+    shared: &Arc<Shared>,
+    session_id: u64,
+    job: &SessionOpJob,
+    session: &mut Session,
+) -> Vec<u8> {
+    match &job.kind {
+        SessionOpKind::Assert(problem) => {
+            let t = match parse_problem(session.term_manager_mut(), problem) {
+                Ok(t) => t,
+                Err(e) => {
+                    shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                    return error_reply(job.id, &format!("parse error: {e}"));
+                }
+            };
+            if session.term_manager().sort(t) != Sort::Bool {
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                return error_reply(job.id, "assertions must be Boolean-sorted");
+            }
+            let aid = session.assert(t);
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            ReplyBuilder::new(job.id, "ok")
+                .u64_field("assertion", aid.index() as u64)
+                .u64_field("live", session.num_assertions() as u64)
+                .finish()
+        }
+        SessionOpKind::Push => {
+            session.push();
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            ReplyBuilder::new(job.id, "ok")
+                .u64_field("depth", session.depth() as u64)
+                .finish()
+        }
+        SessionOpKind::Pop => {
+            if session.depth() == 0 {
+                shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                return error_reply(job.id, "pop without a matching push");
+            }
+            session.pop();
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            ReplyBuilder::new(job.id, "ok")
+                .u64_field("depth", session.depth() as u64)
+                .finish()
+        }
+        SessionOpKind::Check => {
+            let budget = match deadline_budget(shared, job.id, job.deadline) {
+                Err(expired) => return expired,
+                Ok(budget) => budget,
+            };
+            let started = Instant::now();
+            session.set_timeout(budget);
+            session.set_cancel_token(Some(job.cancel.clone()));
+            let result = session.check();
+            session.set_timeout(None);
+            session.set_cancel_token(None);
+            settle_outcome(shared, &result.outcome);
+            verdict_reply(
+                job.id,
+                &result.outcome,
+                started.elapsed().as_micros() as u64,
+                &[
+                    ("live", session.num_assertions() as u64),
+                    ("depth", session.depth() as u64),
+                ],
+                None,
+            )
+        }
+        SessionOpKind::Close => {
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            sufsat_obs::event!("serve.session.close", session = session_id);
+            ReplyBuilder::new(job.id, "ok").finish()
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! SIGTERM/SIGINT → graceful drain, without any external crate.
+//!
+//! Rust's standard library links libc on every Unix target, so the C
+//! `signal` entry point can be declared directly. The handler does the
+//! only async-signal-safe thing possible: it stores into a static
+//! atomic, which the daemon's main loop polls to start the drain.
+
+use std::sync::atomic::AtomicBool;
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers (first call only; idempotent) and
+/// returns the flag they raise. On non-Unix targets the flag is
+/// returned un-hooked and simply never fires.
+pub fn termination_flag() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        use std::sync::Once;
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            extern "C" fn on_signal(_signum: i32) {
+                TERMINATION.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
+            unsafe {
+                signal(SIGTERM, on_signal as *const () as usize);
+                signal(SIGINT, on_signal as *const () as usize);
+            }
+        });
+    }
+    &TERMINATION
+}

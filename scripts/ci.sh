@@ -71,6 +71,23 @@ awk -F, '
     END { exit bad }
 ' target/ci-verdicts-nopre.csv target/ci-verdicts-pre.csv
 
+echo "==> serve: concurrency + soak battery (mixed clients, disconnects, overload)"
+cargo test -q --release --test serve_session
+
+echo "==> serve: protocol fuzzing (200 malformed frames) + corpus replay"
+./target/release/sufsat-fuzz --target serve --seed 2026 --cases 200 --quiet \
+    --corpus target/fuzz-corpus
+for f in crates/fuzz/corpus/serve-*.hex; do
+    ./target/release/sufsat-fuzz --replay-hex "$f"
+done
+
+echo "==> serve: traced 30-second load run + wire-schema validation"
+rm -f target/ci-serve-trace.jsonl
+./target/release/serve-bench --duration 30 --clients 4 --workers 2 \
+    --trace target/ci-serve-trace.jsonl --out target/ci-BENCH_serve.json
+./target/release/paper-eval check-trace target/ci-serve-trace.jsonl
+grep -q '"schema": "sufsat-serve-bench-v1"' target/ci-BENCH_serve.json
+
 echo "==> smoke: differential fuzzing (fixed seed, certified answers)"
 # The panel must include the preprocessing lens (BVE + model
 # reconstruction differentially checked against the other ten members).

@@ -21,6 +21,17 @@
 //!
 //! `SUFSAT_TRACE=<path|stderr>` enables the same trace recording as
 //! `--trace` (the flag wins when both are given).
+//!
+//! Two subcommands wrap the resident daemon:
+//!
+//! ```text
+//! sufsat serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!              [--default-timeout SECS] [--trace PATH|stderr]
+//! sufsat client [--addr HOST:PORT] [--timeout SECS] (FILE | --stats | --shutdown)
+//! ```
+//!
+//! `serve` runs until SIGTERM/SIGINT or a client `shutdown` request, then
+//! drains gracefully. `client` sends one request to a running daemon.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -29,12 +40,164 @@ use std::time::Duration;
 use sufsat::{decide, CnfMode, DecideOptions, EncodingMode, Outcome, TermManager};
 
 fn main() -> ExitCode {
-    let code = run();
+    let code = match std::env::args().nth(1).as_deref() {
+        Some("serve") => run_serve(),
+        Some("client") => run_client(),
+        _ => run(),
+    };
     // Flush the trace (when one is being recorded) before the process
     // exits with the verdict code.
     sufsat_obs::emit_counter_records();
     sufsat_obs::shutdown();
     code
+}
+
+fn run_serve() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut opts = sufsat::serve::ServeOptions::default();
+    let mut trace: Option<String> = None;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| die(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => {
+                opts.workers = value("--workers").parse().unwrap_or_else(|_| die("bad --workers"));
+            }
+            "--queue-cap" => {
+                opts.queue_cap = value("--queue-cap").parse().unwrap_or_else(|_| die("bad --queue-cap"));
+            }
+            "--default-timeout" => {
+                let secs: f64 = value("--default-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --default-timeout"));
+                opts.default_deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--trace" => trace = Some(value("--trace")),
+            "--help" | "-h" => {
+                println!("usage: sufsat serve [--addr HOST:PORT] [--workers N] [--queue-cap N]");
+                println!("                    [--default-timeout SECS] [--trace PATH|stderr]");
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+    init_trace(&trace);
+
+    let handle = sufsat::serve::Server::bind(&*addr, opts)
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    eprintln!("sufsat-serve: listening on {}", handle.local_addr());
+    let term = sufsat::serve::termination_flag();
+    let trigger = handle.trigger();
+    // Drain on the first SIGTERM/SIGINT; a protocol `shutdown` request
+    // drains too, which handle.wait() observes directly.
+    let poller = std::thread::spawn(move || {
+        while !trigger.draining() {
+            if term.load(std::sync::atomic::Ordering::Relaxed) {
+                eprintln!("sufsat-serve: termination signal, draining");
+                trigger.begin();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+    let report = handle.wait();
+    let _ = poller.join();
+    eprintln!(
+        "sufsat-serve: stopped ({} requests, {} ok, {} overloaded, {} errors)",
+        report.counters.requests, report.counters.ok, report.counters.overloaded,
+        report.counters.errors,
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_client() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut timeout: Option<Duration> = None;
+    let mut want_stats = false;
+    let mut want_shutdown = false;
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| die(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--timeout" => {
+                let secs: f64 = value("--timeout").parse().unwrap_or_else(|_| die("bad --timeout"));
+                timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--stats" => want_stats = true,
+            "--shutdown" => want_shutdown = true,
+            "--help" | "-h" => {
+                println!("usage: sufsat client [--addr HOST:PORT] [--timeout SECS]");
+                println!("                     (FILE | --stats | --shutdown)");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => file = Some(other.to_owned()),
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let mut client = sufsat::serve::Client::connect(&*addr)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    if want_stats {
+        let reply = client.stats().unwrap_or_else(|e| die(&e.to_string()));
+        println!("{}", sufsat::serve::render_json(&reply));
+        return ExitCode::SUCCESS;
+    }
+    if want_shutdown {
+        client.shutdown_server().unwrap_or_else(|e| die(&e.to_string()));
+        println!("draining");
+        return ExitCode::SUCCESS;
+    }
+    let source = match &file {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+            buf
+        }
+    };
+    let reply = client
+        .decide(&source, timeout)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    match sufsat::serve::reply_status(&reply) {
+        "ok" => {
+            let verdict = sufsat::serve::reply_verdict(&reply);
+            println!("{verdict}");
+            match verdict {
+                "valid" => ExitCode::SUCCESS,
+                "invalid" => ExitCode::from(1),
+                _ => ExitCode::from(2),
+            }
+        }
+        status => {
+            let detail = reply
+                .get("message")
+                .and_then(|m| m.as_str())
+                .unwrap_or("");
+            eprintln!("sufsat: server replied {status}: {detail}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn init_trace(trace: &Option<String>) {
+    match trace {
+        Some(target) => {
+            if let Err(e) = sufsat_obs::init_to(target) {
+                die(&format!("cannot open trace target {target}: {e}"));
+            }
+        }
+        None => {
+            sufsat_obs::init_from_env();
+        }
+    }
 }
 
 fn run() -> ExitCode {
@@ -103,16 +266,7 @@ fn run() -> ExitCode {
         mode = EncodingMode::Hybrid(t);
     }
 
-    match &trace {
-        Some(target) => {
-            if let Err(e) = sufsat_obs::init_to(target) {
-                die(&format!("cannot open trace target {target}: {e}"));
-            }
-        }
-        None => {
-            sufsat_obs::init_from_env();
-        }
-    }
+    init_trace(&trace);
 
     let source = match &file {
         Some(path) => std::fs::read_to_string(path)

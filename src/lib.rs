@@ -15,6 +15,8 @@
 //!   comparison procedures
 //! * [`incremental`] — persistent solving sessions with push/pop,
 //!   unsat cores and incremental bounded model checking
+//! * [`serve`] — a resident solver daemon with a worker pool, bounded
+//!   admission queue and deadline propagation (`sufsat serve`)
 //! * [`workloads`] — the synthetic 49-benchmark suite
 //!
 //! The most common entry points are re-exported at the top level.
@@ -46,6 +48,7 @@ pub use sufsat_encode as encode;
 pub use sufsat_incremental as incremental;
 pub use sufsat_sat as sat;
 pub use sufsat_seplog as seplog;
+pub use sufsat_serve as serve;
 pub use sufsat_suf as suf;
 pub use sufsat_workloads as workloads;
 
