@@ -118,7 +118,10 @@ pub fn check_trace(text: &str) -> Result<TraceCheck, Vec<String>> {
                     None => errors.push(format!("line {lineno}: span_close without `span` id")),
                 }
             }
-            "event" => check.events += 1,
+            "event" => {
+                check.events += 1;
+                check_event_fields(&json, lineno, &mut errors);
+            }
             "counter" => check.counters += 1,
             _ => unreachable!(),
         }
@@ -132,6 +135,52 @@ pub fn check_trace(text: &str) -> Result<TraceCheck, Vec<String>> {
         Ok(check)
     } else {
         Err(errors)
+    }
+}
+
+/// Field schemas of the known introspection events. Unknown event names
+/// pass unchecked — the trace format is open — but once a producer emits
+/// a `sat.progress` or `serve.slow_request` record it must carry the
+/// full field set consumers (dashboards, `sufsat top`, scrape pipelines)
+/// rely on.
+fn check_event_fields(json: &Json, lineno: usize, errors: &mut Vec<String>) {
+    let Some(name) = json.get("name").and_then(Json::as_str) else {
+        return;
+    };
+    let (numeric, strings): (&[&str], &[&str]) = match name {
+        "sat.progress" => (
+            &[
+                "conflicts",
+                "decisions",
+                "propagations",
+                "restarts",
+                "trail_depth",
+                "learnt_clauses",
+                "arena_bytes",
+                "conflicts_per_s",
+            ],
+            &[],
+        ),
+        "serve.slow_request" => (
+            &["conn", "latency_us", "queue_wait_us", "conflicts"],
+            &["op", "status"],
+        ),
+        _ => return,
+    };
+    let fields = json.get("fields");
+    for key in numeric {
+        if fields.and_then(|f| f.get(key)).and_then(Json::as_u64).is_none() {
+            errors.push(format!(
+                "line {lineno}: `{name}` event missing numeric field `{key}`"
+            ));
+        }
+    }
+    for key in strings {
+        if fields.and_then(|f| f.get(key)).and_then(Json::as_str).is_none() {
+            errors.push(format!(
+                "line {lineno}: `{name}` event missing string field `{key}`"
+            ));
+        }
     }
 }
 
@@ -382,6 +431,31 @@ mod tests {
         let garbage = "not json at all\n";
         let errs = check_trace(garbage).expect_err("not JSON");
         assert!(errs.iter().any(|e| e.contains("not valid JSON")), "{errs:?}");
+    }
+
+    #[test]
+    fn validates_introspection_event_schemas() {
+        let good = concat!(
+            "{\"ts\":1,\"kind\":\"event\",\"name\":\"sat.progress\",\"span\":0,\"thread\":1,\
+             \"fields\":{\"conflicts\":10,\"decisions\":20,\"propagations\":99,\"restarts\":1,\
+             \"trail_depth\":5,\"learnt_clauses\":3,\"arena_bytes\":4096,\"conflicts_per_s\":800}}\n",
+            "{\"ts\":2,\"kind\":\"event\",\"name\":\"serve.slow_request\",\"span\":0,\"thread\":1,\
+             \"fields\":{\"op\":\"decide\",\"status\":\"ok\",\"conn\":1,\"latency_us\":5000,\
+             \"queue_wait_us\":10,\"conflicts\":42}}\n",
+        );
+        let check = check_trace(good).expect("both events validate");
+        assert_eq!(check.events, 2);
+
+        let truncated = "{\"ts\":1,\"kind\":\"event\",\"name\":\"sat.progress\",\"span\":0,\
+                         \"thread\":1,\"fields\":{\"conflicts\":10}}\n";
+        let errs = check_trace(truncated).expect_err("missing progress fields");
+        assert!(errs.iter().any(|e| e.contains("`decisions`")), "{errs:?}");
+
+        let untyped = "{\"ts\":1,\"kind\":\"event\",\"name\":\"serve.slow_request\",\"span\":0,\
+                       \"thread\":1,\"fields\":{\"op\":7,\"status\":\"ok\",\"conn\":1,\
+                       \"latency_us\":5,\"queue_wait_us\":1,\"conflicts\":0}}\n";
+        let errs = check_trace(untyped).expect_err("op must be a string");
+        assert!(errs.iter().any(|e| e.contains("`op`")), "{errs:?}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use sufsat_encode::{
     encode, load_into_solver, try_decode_model, CnfMode, EncodeOptions, EncodingMode,
 };
-use sufsat_sat::{CancelToken, Interrupt, SolveResult, Solver};
+use sufsat_sat::{CancelToken, Interrupt, ProgressHandle, SolveResult, Solver};
 use sufsat_seplog::{SepAnalysis, SepAssignment};
 use sufsat_suf::{eliminate, TermId, TermManager};
 
@@ -44,6 +44,12 @@ pub struct DecideOptions {
     /// [`Outcome::Unknown`]`(`[`StopReason::Cancelled`]`)` — this is how
     /// the portfolio engine retires losing lanes.
     pub cancel: Option<CancelToken>,
+    /// Optional live progress heartbeat: a clone of the handle is
+    /// installed into the SAT solver ([`Solver::set_progress_handle`]),
+    /// so another thread can watch conflicts, trail depth and learnt-DB
+    /// growth while the search stage runs. Earlier pipeline stages do not
+    /// publish (they are bounded by `trans_budget` instead).
+    pub progress: Option<ProgressHandle>,
     /// Certify the answer: SAT models are replayed through the reference
     /// evaluator against both the separation formula and the original
     /// formula, and UNSAT answers log a DRAT proof that is replayed
@@ -69,6 +75,7 @@ impl Default for DecideOptions {
             conflict_budget: None,
             timeout: None,
             cancel: None,
+            progress: None,
             certify: false,
             preprocess: false,
         }
@@ -473,6 +480,7 @@ fn decide_inner(
     solver.set_conflict_budget(options.conflict_budget);
     solver.set_timeout(options.timeout);
     solver.set_cancel_token(options.cancel.clone());
+    solver.set_progress_handle(options.progress.clone());
     let result = solver.solve();
     stats.sat_time = solver.stats().solve_time;
     stats.conflict_clauses = solver.stats().conflicts;

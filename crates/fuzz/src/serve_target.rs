@@ -91,7 +91,7 @@ pub fn malformed_bytes(seed: u64, case: usize) -> Vec<u8> {
         out.extend_from_slice(payload);
         out
     };
-    match case % 10 {
+    match case % 12 {
         // Raw garbage: the length prefix itself is random junk.
         0 => {
             let n = 1 + (rng.next_u64() % 64) as usize;
@@ -143,13 +143,36 @@ pub fn malformed_bytes(seed: u64, case: usize) -> Vec<u8> {
         // Zero-length frame.
         8 => frame(b""),
         // Missing required fields / bogus enum values.
-        _ => {
+        9 => {
             let junk: &[&str] = &[
                 "{\"id\":1,\"op\":\"decide\"}",
                 "{\"id\":1,\"op\":\"session-assert\",\"session\":1}",
                 "{\"id\":1,\"op\":\"decide\",\"problem\":\"(vars x) (formula x)\",\"mode\":\"quantum\"}",
                 "{\"id\":1,\"op\":\"decide\",\"problem\":\"(vars x) (formula x)\",\"cnf\":\"magic\"}",
                 "{\"id\":1}",
+            ];
+            frame(junk[(rng.next_u64() as usize) % junk.len()].as_bytes())
+        }
+        // Debug-op abuse: missing, unknown or mistyped `what` dumps.
+        10 => {
+            let junk: &[&str] = &[
+                "{\"id\":1,\"op\":\"debug\"}",
+                "{\"id\":1,\"op\":\"debug\",\"what\":\"heap\"}",
+                "{\"id\":1,\"op\":\"debug\",\"what\":7}",
+                "{\"id\":1,\"op\":\"debug\",\"what\":[\"slow_requests\"]}",
+                "{\"id\":1,\"op\":\"debug\",\"what\":null}",
+            ];
+            frame(junk[(rng.next_u64() as usize) % junk.len()].as_bytes())
+        }
+        // Introspection ops with mistyped fields: answered inline by the
+        // reader thread, so their error path differs from queued ops.
+        _ => {
+            let junk: &[&str] = &[
+                "{\"id\":\"one\",\"op\":\"metrics\"}",
+                "{\"id\":1,\"op\":\"metrics\",\"what\":3}",
+                "{\"id\":1,\"op\":\"health\",\"what\":false}",
+                "{\"id\":[],\"op\":\"health\"}",
+                "{\"id\":1,\"op\":\"stats\",\"what\":{}}",
             ];
             frame(junk[(rng.next_u64() as usize) % junk.len()].as_bytes())
         }
@@ -419,7 +442,7 @@ mod tests {
     #[test]
     fn strategies_cover_taxonomy() {
         // Every strategy produces non-degenerate, deterministic bytes.
-        for case in 0..10 {
+        for case in 0..12 {
             let a = malformed_bytes(1, case);
             let b = malformed_bytes(1, case);
             assert_eq!(a, b, "strategy {case} must be deterministic");

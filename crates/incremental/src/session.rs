@@ -213,6 +213,14 @@ impl Session {
         self.options.cancel = cancel;
     }
 
+    /// Sets (or clears) the progress heartbeat handle installed into the
+    /// solver by subsequent [`check`](Session::check) calls, so an
+    /// external thread can watch a long search live (see
+    /// [`sufsat_sat::ProgressHandle`]).
+    pub fn set_progress_handle(&mut self, progress: Option<sufsat_sat::ProgressHandle>) {
+        self.options.progress = progress;
+    }
+
     /// Number of open scopes.
     pub fn depth(&self) -> usize {
         self.frames.len()
@@ -476,6 +484,7 @@ impl Session {
         self.solver.set_conflict_budget(self.options.conflict_budget);
         self.solver.set_timeout(self.options.timeout);
         self.solver.set_cancel_token(self.options.cancel.clone());
+        self.solver.set_progress_handle(self.options.progress.clone());
         let result = self.solver.solve_with_assumptions(&acts);
         let after = self.solver.stats().clone();
         stats.sat_time = after.solve_time - before.solve_time;

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+mod histogram;
 pub mod json;
 mod metrics;
 mod record;
@@ -57,6 +58,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
+pub use histogram::{Histogram, HistogramBins, HistogramSnapshot, RollingWindow, NUM_BUCKETS};
 pub use metrics::{counter_add, emit_counter_records, metrics_snapshot, Counter, Gauge};
 pub use record::{Kind, Record, Value};
 pub use sink::{render_json, render_text, JsonLinesSink, NoopSink, RingSink, Sink, TeeSink, TextSink};

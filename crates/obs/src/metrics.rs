@@ -10,9 +10,12 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::histogram::HistogramBins;
+
 enum Metric {
     Counter(Arc<AtomicU64>),
     Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramBins>),
 }
 
 static REGISTRY: Mutex<Vec<(&'static str, Metric)>> = Mutex::new(Vec::new());
@@ -42,6 +45,20 @@ fn register_gauge(name: &'static str) -> Arc<AtomicI64> {
     }
     let cell = Arc::new(AtomicI64::new(0));
     registry.push((name, Metric::Gauge(Arc::clone(&cell))));
+    cell
+}
+
+pub(crate) fn register_histogram(name: &'static str) -> Arc<HistogramBins> {
+    let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for (existing, metric) in registry.iter() {
+        if *existing == name {
+            if let Metric::Histogram(cell) = metric {
+                return Arc::clone(cell);
+            }
+        }
+    }
+    let cell = Arc::new(HistogramBins::new());
+    registry.push((name, Metric::Histogram(Arc::clone(&cell))));
     cell
 }
 
@@ -135,18 +152,25 @@ pub fn counter_add(name: &'static str, delta: u64) {
 
 /// A point-in-time copy of every registered metric, sorted by name.
 /// Gauges are reported alongside counters with their `i64` value widened.
+/// A histogram contributes derived entries: `<name>.count`, `<name>.p50`,
+/// `<name>.p95`, `<name>.p99` and `<name>.max`.
 pub fn metrics_snapshot() -> Vec<(String, i64)> {
     let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    let mut out: Vec<(String, i64)> = registry
-        .iter()
-        .map(|(name, metric)| {
-            let value = match metric {
-                Metric::Counter(c) => c.load(Ordering::Relaxed) as i64,
-                Metric::Gauge(g) => g.load(Ordering::Relaxed),
-            };
-            ((*name).to_owned(), value)
-        })
-        .collect();
+    let mut out: Vec<(String, i64)> = Vec::with_capacity(registry.len());
+    for (name, metric) in registry.iter() {
+        match metric {
+            Metric::Counter(c) => out.push(((*name).to_owned(), c.load(Ordering::Relaxed) as i64)),
+            Metric::Gauge(g) => out.push(((*name).to_owned(), g.load(Ordering::Relaxed))),
+            Metric::Histogram(h) => {
+                let snap = h.snapshot();
+                out.push((format!("{name}.count"), snap.count() as i64));
+                out.push((format!("{name}.p50"), snap.quantile(0.50) as i64));
+                out.push((format!("{name}.p95"), snap.quantile(0.95) as i64));
+                out.push((format!("{name}.p99"), snap.quantile(0.99) as i64));
+                out.push((format!("{name}.max"), snap.max() as i64));
+            }
+        }
+    }
     out.sort();
     out
 }

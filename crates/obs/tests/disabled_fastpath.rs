@@ -31,6 +31,7 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 static HOT_COUNTER: sufsat_obs::Counter = sufsat_obs::Counter::new("test.hot_counter");
 static HOT_GAUGE: sufsat_obs::Gauge = sufsat_obs::Gauge::new("test.hot_gauge");
+static HOT_HIST: sufsat_obs::Histogram = sufsat_obs::Histogram::new("test.hot_hist");
 
 #[test]
 fn disabled_instrumentation_never_allocates() {
@@ -54,6 +55,7 @@ fn disabled_instrumentation_never_allocates() {
         for i in 0..100_000u64 {
             HOT_COUNTER.add(i);
             HOT_GAUGE.set(i as i64);
+            HOT_HIST.record(i);
             let span = sufsat_obs::span_with!("test.span", iteration = i);
             assert!(!span.is_recording());
             sufsat_obs::event!("test.event", iteration = i, label = "disabled");
@@ -71,5 +73,6 @@ fn disabled_instrumentation_never_allocates() {
     // counter never left zero.
     assert_eq!(HOT_COUNTER.value(), 0);
     assert_eq!(HOT_GAUGE.value(), 0);
+    assert_eq!(HOT_HIST.snapshot().count(), 0);
     assert!(sufsat_obs::metrics_snapshot().is_empty());
 }

@@ -1,0 +1,157 @@
+//! Histogram accuracy, concurrency and merge-law tests.
+//!
+//! The log-linear bucket scheme promises every reported quantile `est`
+//! satisfies `exact <= est <= exact + exact/16` (upper bucket bound,
+//! capped at the exact max). These tests check that bound empirically
+//! against exact order statistics on three differently-shaped
+//! distributions, then exercise concurrent recording and the merge
+//! algebra a rolling window relies on.
+
+use std::sync::Arc;
+use std::thread;
+
+use sufsat_obs::{HistogramBins, HistogramSnapshot};
+use sufsat_prng::Prng;
+
+const QUANTILES: [f64; 4] = [0.50, 0.90, 0.95, 0.99];
+
+/// Exact order statistic matching the histogram's convention: the
+/// smallest recorded value such that at least `ceil(q*n)` observations
+/// are <= it.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+fn check_distribution(name: &str, samples: &[u64]) {
+    let bins = HistogramBins::new();
+    for &v in samples {
+        bins.record(v);
+    }
+    let snap = bins.snapshot();
+    assert_eq!(snap.count(), samples.len() as u64, "{name}: count");
+    assert_eq!(snap.sum(), samples.iter().sum::<u64>(), "{name}: sum");
+
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(snap.max(), *sorted.last().unwrap(), "{name}: max is exact");
+
+    for q in QUANTILES {
+        let exact = exact_quantile(&sorted, q);
+        let est = snap.quantile(q);
+        assert!(
+            est >= exact,
+            "{name}: p{q} under-reports: est {est} < exact {exact}"
+        );
+        assert!(
+            est <= exact + exact / 16 + 1,
+            "{name}: p{q} outside bucket error bound: est {est}, exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn quantiles_match_exact_order_statistics_uniform() {
+    let mut rng = Prng::seed_from_u64(11);
+    let samples: Vec<u64> = (0..50_000).map(|_| rng.random_range(0u64..2_000_000)).collect();
+    check_distribution("uniform", &samples);
+}
+
+#[test]
+fn quantiles_match_exact_order_statistics_exponentialish() {
+    // Heavy tail: latency-shaped. 2^(0..=20) scaled by a uniform factor.
+    let mut rng = Prng::seed_from_u64(23);
+    let samples: Vec<u64> = (0..50_000)
+        .map(|_| {
+            let magnitude = rng.random_range(0u32..21);
+            let base = 1u64 << magnitude;
+            base + rng.random_range(0u64..base.max(1))
+        })
+        .collect();
+    check_distribution("exponential-ish", &samples);
+}
+
+#[test]
+fn quantiles_match_exact_order_statistics_bimodal() {
+    // Fast path around ~100, slow path around ~1M — the shape a serve
+    // latency histogram sees when some requests hit the SAT core.
+    let mut rng = Prng::seed_from_u64(47);
+    let samples: Vec<u64> = (0..50_000)
+        .map(|_| {
+            if rng.random_bool(0.8) {
+                rng.random_range(50u64..200)
+            } else {
+                rng.random_range(800_000u64..1_500_000)
+            }
+        })
+        .collect();
+    check_distribution("bimodal", &samples);
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let bins = Arc::new(HistogramBins::new());
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let bins = Arc::clone(&bins);
+            scope.spawn(move || {
+                let mut rng = Prng::seed_from_u64(t);
+                for _ in 0..PER_THREAD {
+                    bins.record(rng.random_range(0u64..1_000_000));
+                }
+            });
+        }
+    });
+    let snap = bins.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    // Bucket totals must agree with the count: no torn or dropped updates.
+    let bucket_total: u64 = snap.nonzero_buckets().iter().map(|(_, _, n)| n).sum();
+    assert_eq!(bucket_total, THREADS * PER_THREAD);
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mut rng = Prng::seed_from_u64(5);
+    let parts: Vec<HistogramSnapshot> = (0..3)
+        .map(|_| {
+            let bins = HistogramBins::new();
+            for _ in 0..5_000 {
+                bins.record(rng.random_range(0u64..3_000_000));
+            }
+            bins.snapshot()
+        })
+        .collect();
+    let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+
+    // (a ⊕ b) ⊕ c
+    let mut left = a.clone();
+    left.merge(b);
+    left.merge(c);
+    // a ⊕ (b ⊕ c)
+    let mut bc = b.clone();
+    bc.merge(c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    // c ⊕ b ⊕ a
+    let mut rev = c.clone();
+    rev.merge(b);
+    rev.merge(a);
+
+    for m in [&right, &rev] {
+        assert_eq!(left.count(), m.count());
+        assert_eq!(left.sum(), m.sum());
+        assert_eq!(left.max(), m.max());
+        assert_eq!(left.nonzero_buckets(), m.nonzero_buckets());
+        for q in QUANTILES {
+            assert_eq!(left.quantile(q), m.quantile(q));
+        }
+    }
+    assert_eq!(
+        left.count(),
+        a.count() + b.count() + c.count(),
+        "merge accumulates counts"
+    );
+}

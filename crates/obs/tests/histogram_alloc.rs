@@ -1,0 +1,66 @@
+//! The histogram record path must stay allocation-free even while tracing
+//! is ENABLED: registration (one `Arc` + registry push) happens on the
+//! first record, after which every record is a handful of relaxed atomic
+//! RMWs. Verified under a counting global allocator in its own process,
+//! like the disabled-fastpath test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+static HIST: sufsat_obs::Histogram = sufsat_obs::Histogram::new("test.alloc_hist");
+
+#[test]
+fn enabled_record_path_never_allocates() {
+    // Enable tracing with a sink that swallows records; the install and
+    // the first record (lazy registration) may allocate.
+    sufsat_obs::install(Arc::new(sufsat_obs::NoopSink));
+    assert!(sufsat_obs::enabled());
+    HIST.record(0); // registers
+    let raw = sufsat_obs::HistogramBins::new();
+
+    // Same windowed-minimum scheme as the disabled-fastpath test: the
+    // allocation counter is process-global, so judge the minimum delta
+    // across several windows to filter background noise.
+    let mut min_delta = u64::MAX;
+    for _ in 0..8 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for i in 0..100_000u64 {
+            HIST.record(i * 37);
+            raw.record(i * 53);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        min_delta = min_delta.min(after - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "enabled histogram record path allocated {min_delta} times per 100k-record window"
+    );
+
+    assert_eq!(HIST.snapshot().count(), 1 + 8 * 100_000);
+    assert_eq!(raw.count(), 8 * 100_000);
+    sufsat_obs::shutdown();
+}

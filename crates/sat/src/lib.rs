@@ -36,6 +36,7 @@ mod clause;
 mod heap;
 mod lit;
 mod preprocess;
+mod progress;
 mod solver;
 mod stats;
 
@@ -46,6 +47,7 @@ pub mod dimacs;
 pub use assume::{minimize_assumptions, MinimizeStats};
 pub use cancel::CancelToken;
 pub use lit::{LBool, Lit, Var};
+pub use progress::{ProgressHandle, ProgressSnapshot};
 pub use proof::{check_refutation, Proof, ProofStep};
 pub use solver::{Config, Interrupt, SolveResult, Solver};
 pub use stats::Stats;

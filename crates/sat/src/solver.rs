@@ -6,6 +6,7 @@ use crate::cancel::CancelToken;
 use crate::clause::{ClauseDb, ClauseRef, Watcher, NO_REASON};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
+use crate::progress::{ProgressHandle, ProgressSnapshot};
 use crate::proof::Proof;
 use crate::stats::{luby, Stats};
 
@@ -134,6 +135,7 @@ pub struct Solver {
     conflict_budget: Option<u64>,
     timeout: Option<Duration>,
     cancel: Option<CancelToken>,
+    progress: Option<ProgressHandle>,
     max_learnts: usize,
     restarts_done: u64,
 }
@@ -142,6 +144,17 @@ impl Default for Solver {
     fn default() -> Solver {
         Solver::new()
     }
+}
+
+/// Per-solve heartbeat state: the conflict-rate window and trace-event
+/// throttle (see [`Solver::heartbeat`]).
+#[derive(Default)]
+struct Heartbeat {
+    window_start_us: u64,
+    window_conflicts: u64,
+    window_closed: bool,
+    rate: u64,
+    last_event_us: u64,
 }
 
 impl Solver {
@@ -184,6 +197,7 @@ impl Solver {
             conflict_budget: None,
             timeout: None,
             cancel: None,
+            progress: None,
             max_learnts,
             restarts_done: 0,
         }
@@ -314,6 +328,19 @@ impl Solver {
     /// (`None` removes the limit). Checked every few hundred conflicts.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) {
         self.timeout = timeout;
+    }
+
+    /// Installs (or removes) a progress heartbeat handle.
+    ///
+    /// While `solve` runs, the solver periodically publishes a
+    /// [`ProgressSnapshot`] (conflicts, decisions, trail depth, learnt-db
+    /// size, restarts, arena bytes, conflict rate) that any thread holding
+    /// a clone of the handle can read with
+    /// [`ProgressHandle::snapshot`]. Publication rides the same amortized
+    /// credit counter as timeout polling, so an installed handle costs a
+    /// handful of relaxed atomic stores every ~256 search cycles.
+    pub fn set_progress_handle(&mut self, handle: Option<ProgressHandle>) {
+        self.progress = handle;
     }
 
     /// Adds a clause, simplifying against the top-level assignment.
@@ -577,8 +604,10 @@ impl Solver {
         // 16 more, and the clock is read once 256 credits accrue. On
         // conflict-heavy search that is the old every-few-conflicts rate,
         // while conflict-free search (huge easy instances) still polls
-        // every 256 cycles instead of never.
+        // every 256 cycles instead of never. Progress heartbeats ride the
+        // same credit counter, so they share its amortization.
         let mut deadline_credit = 0u32;
+        let mut heartbeat = Heartbeat::default();
         loop {
             // One relaxed atomic load per propagate/decide cycle — cheap
             // next to propagation, and prompt enough that cancellation
@@ -590,11 +619,18 @@ impl Solver {
             deadline_credit += 1;
             if deadline_credit >= 256 {
                 deadline_credit = 0;
-                if let Some(limit) = self.timeout {
-                    if start.elapsed() >= limit {
-                        self.backtrack_to(0);
-                        return SolveResult::Unknown(Interrupt::Timeout);
+                // One clock read serves the deadline check, the progress
+                // heartbeat and the throttled trace event; skipped
+                // entirely when none of the three is active.
+                if self.timeout.is_some() || self.progress.is_some() || sufsat_obs::enabled() {
+                    let elapsed = start.elapsed();
+                    if let Some(limit) = self.timeout {
+                        if elapsed >= limit {
+                            self.backtrack_to(0);
+                            return SolveResult::Unknown(Interrupt::Timeout);
+                        }
                     }
+                    self.heartbeat(elapsed, &mut heartbeat);
                 }
             }
             if let Some(confl) = self.propagate() {
@@ -677,6 +713,60 @@ impl Solver {
                     }
                 }
             }
+        }
+    }
+
+    /// Publishes a progress snapshot to the installed handle and, when
+    /// tracing is enabled, emits a throttled `sat.progress` event.
+    /// Called from the search loop's amortized credit-poll block.
+    fn heartbeat(&self, elapsed: Duration, beat: &mut Heartbeat) {
+        let now_us = elapsed.as_micros() as u64;
+        // Conflict rate over the last throttle window (>= 100 ms apart so
+        // short windows don't produce noisy rates); until the first window
+        // closes, fall back to the whole-solve average.
+        if now_us.saturating_sub(beat.window_start_us) >= 100_000 {
+            let dt = now_us - beat.window_start_us;
+            let dc = self.stats.conflicts.saturating_sub(beat.window_conflicts);
+            beat.rate = dc.saturating_mul(1_000_000) / dt;
+            beat.window_start_us = now_us;
+            beat.window_conflicts = self.stats.conflicts;
+            beat.window_closed = true;
+        }
+        let rate = if beat.window_closed {
+            beat.rate
+        } else if now_us > 0 {
+            self.stats.conflicts.saturating_mul(1_000_000) / now_us
+        } else {
+            0
+        };
+        let snap = ProgressSnapshot {
+            conflicts: self.stats.conflicts,
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+            restarts: self.stats.restarts,
+            trail_depth: self.trail.len() as u64,
+            learnt_clauses: self.db.num_learnts() as u64,
+            arena_bytes: (self.db.arena_words() * 4) as u64,
+            elapsed_us: now_us,
+            conflicts_per_s: rate,
+            seq: 0, // assigned by publish
+        };
+        if let Some(handle) = self.progress.as_ref() {
+            handle.publish(snap);
+        }
+        if sufsat_obs::enabled() && now_us.saturating_sub(beat.last_event_us) >= 100_000 {
+            beat.last_event_us = now_us;
+            sufsat_obs::event!(
+                "sat.progress",
+                conflicts = snap.conflicts,
+                decisions = snap.decisions,
+                propagations = snap.propagations,
+                restarts = snap.restarts,
+                trail_depth = snap.trail_depth,
+                learnt_clauses = snap.learnt_clauses,
+                arena_bytes = snap.arena_bytes,
+                conflicts_per_s = snap.conflicts_per_s,
+            );
         }
     }
 

@@ -21,6 +21,9 @@
 //!                        BENCH_serve.json)
 //!     --trace PATH       record a structured trace (in-process server
 //!                        spans land in it too)
+//!     --metrics-addr A   in-process server Prometheus listener address
+//!                        (e.g. 127.0.0.1:9099); scrape GET /metrics
+//!                        while the bench runs
 //! ```
 //!
 //! Exit code: 0 on success, 2 on usage/setup errors.
@@ -31,6 +34,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sufsat_obs::json::Json;
+use sufsat_obs::HistogramBins;
 use sufsat_serve::{render_json, reply_status, reply_verdict, Client, ServeOptions, Server};
 
 struct Config {
@@ -45,6 +50,7 @@ struct Config {
     max_bytes: u64,
     out: PathBuf,
     trace: Option<String>,
+    metrics_addr: Option<String>,
 }
 
 impl Default for Config {
@@ -61,6 +67,7 @@ impl Default for Config {
             max_bytes: 256 * 1024,
             out: PathBuf::from("BENCH_serve.json"),
             trace: None,
+            metrics_addr: None,
         }
     }
 }
@@ -90,11 +97,12 @@ fn parse_args() -> Config {
             "--max-bytes" => config.max_bytes = value("--max-bytes").parse().unwrap_or_else(|_| die("bad --max-bytes")),
             "--out" => config.out = PathBuf::from(value("--out")),
             "--trace" => config.trace = Some(value("--trace")),
+            "--metrics-addr" => config.metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => {
                 println!("usage: serve-bench [--addr HOST:PORT] [--workers N] [--queue-cap N]");
                 println!("                   [--clients N] [--requests N] [--duration SECS]");
                 println!("                   [--timeout-ms N] [--dir PATH] [--max-bytes N]");
-                println!("                   [--out PATH] [--trace PATH|stderr]");
+                println!("                   [--out PATH] [--trace PATH|stderr] [--metrics-addr HOST:PORT]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown option `{other}`")),
@@ -105,7 +113,6 @@ fn parse_args() -> Config {
 
 #[derive(Default)]
 struct ClientTally {
-    latencies_us: Vec<u64>,
     ok: u64,
     valid: u64,
     invalid: u64,
@@ -159,6 +166,7 @@ fn main() {
         let opts = ServeOptions {
             workers: config.workers,
             queue_cap: config.queue_cap,
+            metrics_addr: config.metrics_addr.clone(),
             ..ServeOptions::default()
         };
         Some(Server::bind("127.0.0.1:0", opts).unwrap_or_else(|e| die(&format!("bind: {e}"))))
@@ -167,6 +175,9 @@ fn main() {
         .addr
         .clone()
         .unwrap_or_else(|| handle.as_ref().unwrap().local_addr().to_string());
+    if let Some(metrics) = handle.as_ref().and_then(|h| h.metrics_addr()) {
+        eprintln!("serve-bench: Prometheus exposition on http://{metrics}/metrics");
+    }
 
     eprintln!(
         "serve-bench: {} clients x {} against {} ({} workload files, timeout {} ms)",
@@ -181,12 +192,19 @@ fn main() {
     );
 
     let stop = Arc::new(AtomicBool::new(false));
+    // Log-linear histograms shared by every client thread: recording is
+    // a few relaxed atomics, so the load generator no longer pays a
+    // per-request Vec push nor a final O(n log n) sort.
+    let latency_hist = Arc::new(HistogramBins::new());
+    let queue_wait_hist = Arc::new(HistogramBins::new());
     let started = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|s| {
         let mut joins = Vec::new();
         for client_idx in 0..config.clients {
             let files = Arc::clone(&files);
             let stop = Arc::clone(&stop);
+            let latency_hist = Arc::clone(&latency_hist);
+            let queue_wait_hist = Arc::clone(&queue_wait_hist);
             let addr = addr.clone();
             let requests = config.requests;
             let duration = config.duration;
@@ -220,7 +238,10 @@ fn main() {
                         Ok(reply) => match reply_status(&reply) {
                             "ok" => {
                                 tally.ok += 1;
-                                tally.latencies_us.push(lat);
+                                latency_hist.record(lat);
+                                if let Some(q) = reply.get("queue_us").and_then(Json::as_u64) {
+                                    queue_wait_hist.record(q);
+                                }
                                 match reply_verdict(&reply) {
                                     "valid" => tally.valid += 1,
                                     "invalid" => tally.invalid += 1,
@@ -244,7 +265,6 @@ fn main() {
     let wall = started.elapsed();
     stop.store(true, Ordering::Relaxed);
 
-    let mut latencies: Vec<u64> = Vec::new();
     let mut ok = 0u64;
     let mut valid = 0u64;
     let mut invalid = 0u64;
@@ -252,7 +272,6 @@ fn main() {
     let mut overloaded = 0u64;
     let mut errors = 0u64;
     for t in &tallies {
-        latencies.extend_from_slice(&t.latencies_us);
         ok += t.ok;
         valid += t.valid;
         invalid += t.invalid;
@@ -260,14 +279,9 @@ fn main() {
         overloaded += t.overloaded;
         errors += t.errors;
     }
-    latencies.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx]
-    };
+    let latency = latency_hist.snapshot();
+    let queue_wait = queue_wait_hist.snapshot();
+    let pct = |p: f64| latency.quantile(p);
     let total = ok + overloaded + errors;
     let throughput = if wall.as_secs_f64() > 0.0 {
         total as f64 / wall.as_secs_f64()
@@ -289,7 +303,7 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"sufsat-serve-bench-v1\",\n");
+    out.push_str("  \"schema\": \"sufsat-serve-bench-v2\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"clients\": {}, \"workers\": {}, \"queue_cap\": {}, \"timeout_ms\": {}, \"duration_s\": {:.3}, \"workload_files\": {}, \"external_addr\": {}}},\n",
         config.clients,
@@ -304,11 +318,22 @@ fn main() {
         "  \"totals\": {{\"requests\": {total}, \"ok\": {ok}, \"valid\": {valid}, \"invalid\": {invalid}, \"unknown\": {unknown}, \"overloaded\": {overloaded}, \"errors\": {errors}}},\n"
     ));
     out.push_str(&format!(
-        "  \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+        "  \"latency_us\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}},\n",
+        latency.count(),
         pct(0.50),
         pct(0.95),
         pct(0.99),
-        latencies.last().copied().unwrap_or(0),
+        latency.max(),
+        latency.mean(),
+    ));
+    out.push_str(&format!(
+        "  \"queue_wait_us\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}},\n",
+        queue_wait.count(),
+        queue_wait.quantile(0.50),
+        queue_wait.quantile(0.95),
+        queue_wait.quantile(0.99),
+        queue_wait.max(),
+        queue_wait.mean(),
     ));
     out.push_str(&format!(
         "  \"throughput_rps\": {throughput:.2},\n  \"overload_rate\": {overload_rate:.4},\n  \"wall_s\": {:.3}",

@@ -124,6 +124,25 @@ impl Client {
         self.call(r#"{"op":"stats"}"#)
     }
 
+    /// Convenience: asks the server for its full introspection dump
+    /// (counters, latency/queue-wait quantiles, per-worker progress).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.call(r#"{"op":"metrics"}"#)
+    }
+
+    /// Convenience: the cheap liveness/drain probe.
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        self.call(r#"{"op":"health"}"#)
+    }
+
+    /// Convenience: dumps one diagnostic structure, e.g.
+    /// `"slow_requests"`.
+    pub fn debug_dump(&mut self, what: &str) -> Result<Json, ClientError> {
+        let mut body = String::from("\"op\":\"debug\",\"what\":");
+        json::escape_into(&mut body, what);
+        self.call(&format!("{{{body}}}"))
+    }
+
     /// Convenience: begins the graceful drain.
     pub fn shutdown_server(&mut self) -> Result<Json, ClientError> {
         self.call(r#"{"op":"shutdown"}"#)

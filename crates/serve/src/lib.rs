@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod protocol;
+mod metrics;
 mod queue;
 mod server;
 mod client;

@@ -35,7 +35,18 @@
 //! | `session-check`     | `session`, `timeout_ms?`                           |
 //! | `session-close`     | `session`                                          |
 //! | `stats`             | —                                                  |
+//! | `metrics`           | —                                                  |
+//! | `health`            | —                                                  |
+//! | `debug`             | `what` (only `"slow_requests"` today)              |
 //! | `shutdown`          | —                                                  |
+//!
+//! `stats` is the raw counter dump; `metrics` adds latency and
+//! queue-wait quantiles, a 10-second rolling latency window and
+//! per-worker solver progress; `health` is the cheap liveness/drain
+//! probe; `debug` dumps server-internal diagnostic state (currently the
+//! slow-request log). All four are answered inline on the connection's
+//! reader thread — they never queue, so they keep working while the
+//! worker pool is saturated or draining.
 //!
 //! `problem` is a SUF problem in the s-expression surface syntax
 //! accepted by [`sufsat_suf::parse_problem`]. For session ops the
@@ -162,6 +173,13 @@ pub enum Op {
     SessionClose,
     /// Dump server counters.
     Stats,
+    /// Dump counters plus latency/queue-wait quantiles and per-worker
+    /// solver progress.
+    Metrics,
+    /// Cheap liveness and drain-state probe.
+    Health,
+    /// Dump server-internal diagnostic state selected by `what`.
+    Debug,
     /// Begin graceful drain-then-stop shutdown.
     Shutdown,
 }
@@ -179,6 +197,9 @@ impl Op {
             Op::SessionCheck => "session-check",
             Op::SessionClose => "session-close",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
+            Op::Health => "health",
+            Op::Debug => "debug",
             Op::Shutdown => "shutdown",
         }
     }
@@ -203,6 +224,8 @@ pub struct Request {
     pub cnf: Option<CnfMode>,
     /// Run CNF preprocessing before the SAT search.
     pub preprocess: bool,
+    /// Which diagnostic dump a `debug` op asks for.
+    pub what: Option<String>,
 }
 
 fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, String> {
@@ -263,6 +286,9 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, (Option<u64>, String)> {
         "session-check" => Op::SessionCheck,
         "session-close" => Op::SessionClose,
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
+        "health" => Op::Health,
+        "debug" => Op::Debug,
         "shutdown" => Op::Shutdown,
         other => return Err(fail(format!("unknown op `{other}`"))),
     };
@@ -288,6 +314,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, (Option<u64>, String)> {
         Some(other) => return Err(fail(format!("unknown cnf mode `{other}`"))),
     };
     let preprocess = field_bool(&doc, "preprocess").map_err(&fail)?;
+    let what = field_str(&doc, "what").map_err(&fail)?.map(str::to_owned);
 
     let needs_problem = matches!(op, Op::Decide | Op::DecidePortfolio | Op::SessionAssert);
     if needs_problem && problem.is_none() {
@@ -310,6 +337,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, (Option<u64>, String)> {
         mode,
         cnf,
         preprocess,
+        what,
     })
 }
 

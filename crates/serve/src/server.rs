@@ -54,9 +54,13 @@ use sufsat_core::{
     decide, decide_portfolio, DecideOptions, Outcome, PortfolioOptions, StopReason,
 };
 use sufsat_incremental::Session;
-use sufsat_sat::CancelToken;
+use sufsat_obs::{HistogramBins, RollingWindow};
+use sufsat_sat::{CancelToken, ProgressHandle, ProgressSnapshot};
 use sufsat_suf::{parse_problem, Sort, TermManager};
 
+use crate::metrics::{
+    debug_reply, health_reply, metrics_reply, spawn_metrics_listener,
+};
 use crate::protocol::{
     error_reply, overloaded_reply, parse_request, read_frame, write_frame, FrameError, Op,
     ReplyBuilder, Request, DEFAULT_MAX_FRAME,
@@ -79,6 +83,11 @@ pub struct ServeOptions {
     pub default_deadline: Option<Duration>,
     /// Cap on concurrently open sessions per connection.
     pub session_limit: usize,
+    /// Optional address for the plain-HTTP introspection listener
+    /// (`GET /metrics` in Prometheus text format, `GET /health`). `None`
+    /// disables it; metrics stay reachable through the protocol's
+    /// `metrics` op either way.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -92,6 +101,7 @@ impl Default for ServeOptions {
             max_frame: DEFAULT_MAX_FRAME,
             default_deadline: None,
             session_limit: 64,
+            metrics_addr: None,
         }
     }
 }
@@ -100,7 +110,11 @@ impl Default for ServeOptions {
 /// by [`ServeReport`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CounterSnapshot {
-    /// Requests parsed (all ops, before admission).
+    /// Frames received that were answered with a reply: every parsed
+    /// request plus malformed frames answered with an error. Once the
+    /// server drains, `requests == ok + errors + overloaded` — every
+    /// received frame settles into exactly one terminal bucket (the soak
+    /// battery asserts this).
     pub requests: u64,
     /// `ok` replies sent.
     pub ok: u64,
@@ -141,7 +155,31 @@ const STATE_RUNNING: u8 = 0;
 const STATE_DRAINING: u8 = 1;
 const STATE_STOPPED: u8 = 2;
 
-struct Shared {
+const WORKER_IDLE: u8 = 0;
+const WORKER_BUSY: u8 = 1;
+
+/// Worst requests kept in the slow-request ring.
+const SLOW_LOG_CAP: usize = 8;
+
+/// Span of the rolling latency window the `metrics` op reports next to
+/// the since-start histogram.
+const LATENCY_WINDOW: Duration = Duration::from_secs(10);
+
+/// One slow-request record: what ran, how long it waited and executed,
+/// and the solver's last progress heartbeat when it finished.
+#[derive(Clone)]
+pub(crate) struct SlowEntry {
+    pub(crate) op: &'static str,
+    pub(crate) conn: u64,
+    pub(crate) latency_us: u64,
+    pub(crate) queue_wait_us: u64,
+    pub(crate) status: &'static str,
+    pub(crate) progress: ProgressSnapshot,
+    /// Microseconds since server start when the request finished.
+    pub(crate) finished_at_us: u64,
+}
+
+pub(crate) struct Shared {
     opts: ServeOptions,
     queue: JobQueue<Work>,
     state: AtomicU8,
@@ -164,10 +202,25 @@ struct Shared {
     c_cancelled: AtomicU64,
     c_panics: AtomicU64,
     c_sessions_opened: AtomicU64,
+    /// Worker-executed request latency (admission → reply), since start.
+    latency_hist: HistogramBins,
+    /// Time between admission and a worker starting the job.
+    queue_wait_hist: HistogramBins,
+    /// Same latency stream over the last [`LATENCY_WINDOW`] only.
+    latency_window: RollingWindow,
+    /// Per-worker busy/idle flags, indexed by worker number.
+    worker_states: Box<[AtomicU8]>,
+    /// Per-worker solver heartbeats; cleared between jobs so a snapshot
+    /// reflects the job the worker is running *now*.
+    worker_progress: Box<[ProgressHandle]>,
+    /// Workers whose loop is currently alive (liveness for `health`).
+    workers_alive: AtomicI64,
+    /// The [`SLOW_LOG_CAP`] worst requests by latency.
+    slow_log: Mutex<Vec<SlowEntry>>,
 }
 
 impl Shared {
-    fn counters(&self) -> CounterSnapshot {
+    pub(crate) fn counters(&self) -> CounterSnapshot {
         CounterSnapshot {
             requests: self.c_requests.load(Ordering::Relaxed),
             ok: self.c_ok.load(Ordering::Relaxed),
@@ -181,8 +234,12 @@ impl Shared {
         }
     }
 
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.state.load(Ordering::Acquire) != STATE_RUNNING
+    }
+
+    pub(crate) fn stopped(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_STOPPED
     }
 
     fn begin_drain(&self) {
@@ -222,6 +279,141 @@ impl Shared {
         INFLIGHT.set(self.inflight.load(Ordering::Relaxed));
         SESSIONS.set(self.open_sessions.load(Ordering::Relaxed));
         CONNS.set(self.connections.load(Ordering::Relaxed));
+    }
+
+    // ---- introspection surface (metrics/health/debug, /metrics) -------
+
+    pub(crate) fn uptime_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn inflight_now(&self) -> i64 {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn open_sessions_now(&self) -> i64 {
+        self.open_sessions.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn connections_now(&self) -> i64 {
+        self.connections.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn workers_configured(&self) -> usize {
+        self.worker_states.len()
+    }
+
+    pub(crate) fn workers_alive_now(&self) -> i64 {
+        self.workers_alive.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn latency_snapshot(&self) -> sufsat_obs::HistogramSnapshot {
+        self.latency_hist.snapshot()
+    }
+
+    pub(crate) fn queue_wait_snapshot(&self) -> sufsat_obs::HistogramSnapshot {
+        self.queue_wait_hist.snapshot()
+    }
+
+    pub(crate) fn window_snapshot(&self) -> sufsat_obs::HistogramSnapshot {
+        self.latency_window.snapshot()
+    }
+
+    /// Per-worker `(state, progress)` pairs, indexed by worker number.
+    pub(crate) fn worker_info(&self) -> Vec<(&'static str, ProgressSnapshot)> {
+        self.worker_states
+            .iter()
+            .zip(self.worker_progress.iter())
+            .map(|(state, progress)| {
+                let label = if state.load(Ordering::Relaxed) == WORKER_BUSY {
+                    "busy"
+                } else {
+                    "idle"
+                };
+                (label, progress.snapshot())
+            })
+            .collect()
+    }
+
+    /// The slow-request log, worst first.
+    pub(crate) fn slow_entries(&self) -> Vec<SlowEntry> {
+        let mut entries = self
+            .slow_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        entries.sort_by(|a, b| b.latency_us.cmp(&a.latency_us));
+        entries
+    }
+
+    /// Accounts a finished worker-executed request into the latency and
+    /// queue-wait histograms, the rolling window, and — when it ranks
+    /// among the worst seen — the slow-request log.
+    fn record_request(
+        &self,
+        op: &'static str,
+        conn: u64,
+        status: &'static str,
+        queue_wait: Duration,
+        admitted_at: Instant,
+        progress: ProgressSnapshot,
+    ) {
+        static LATENCY: sufsat_obs::Histogram = sufsat_obs::Histogram::new("serve.latency_us");
+        static QUEUE_WAIT: sufsat_obs::Histogram =
+            sufsat_obs::Histogram::new("serve.queue_wait_us");
+        let latency_us = admitted_at.elapsed().as_micros() as u64;
+        let queue_wait_us = queue_wait.as_micros() as u64;
+        self.latency_hist.record(latency_us);
+        self.queue_wait_hist.record(queue_wait_us);
+        self.latency_window.record(latency_us);
+        LATENCY.record(latency_us);
+        QUEUE_WAIT.record(queue_wait_us);
+
+        let entry = SlowEntry {
+            op,
+            conn,
+            latency_us,
+            queue_wait_us,
+            status,
+            progress,
+            finished_at_us: self.uptime_us(),
+        };
+        let inserted = {
+            let mut log = self.slow_log.lock().unwrap_or_else(|e| e.into_inner());
+            if log.len() < SLOW_LOG_CAP {
+                log.push(entry);
+                true
+            } else {
+                // Displace the mildest entry if this one is worse.
+                let (mildest, min_latency) = log
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (i, e.latency_us))
+                    .min_by_key(|&(_, l)| l)
+                    .expect("log is non-empty at cap");
+                if latency_us > min_latency {
+                    log[mildest] = entry;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if inserted {
+            sufsat_obs::event!(
+                "serve.slow_request",
+                op = op,
+                conn = conn,
+                status = status,
+                latency_us = latency_us,
+                queue_wait_us = queue_wait_us,
+                conflicts = progress.conflicts,
+            );
+        }
     }
 }
 
@@ -289,6 +481,7 @@ struct SessionOpJob {
     deadline: Option<Instant>,
     cancel: CancelToken,
     job_key: u64,
+    admitted_at: Instant,
     reply: Sender<Vec<u8>>,
     conn: Arc<ConnShared>,
 }
@@ -301,6 +494,7 @@ struct DecideJob {
     deadline: Option<Instant>,
     cancel: CancelToken,
     job_key: u64,
+    admitted_at: Instant,
     reply: Sender<Vec<u8>>,
     conn: Arc<ConnShared>,
 }
@@ -342,13 +536,24 @@ impl Server {
             c_cancelled: AtomicU64::new(0),
             c_panics: AtomicU64::new(0),
             c_sessions_opened: AtomicU64::new(0),
+            latency_hist: HistogramBins::new(),
+            queue_wait_hist: HistogramBins::new(),
+            latency_window: RollingWindow::new(LATENCY_WINDOW),
+            worker_states: (0..workers).map(|_| AtomicU8::new(WORKER_IDLE)).collect(),
+            worker_progress: (0..workers).map(|_| ProgressHandle::new()).collect(),
+            workers_alive: AtomicI64::new(0),
+            slow_log: Mutex::new(Vec::new()),
         });
+        let metrics = match shared.opts.metrics_addr.clone() {
+            Some(addr) => Some(spawn_metrics_listener(Arc::clone(&shared), &addr)?),
+            None => None,
+        };
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("sufsat-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker")
             })
             .collect();
@@ -365,10 +570,16 @@ impl Server {
             queue_cap = shared.opts.queue_cap as u64,
             port = local_addr.port() as u64,
         );
+        let (metrics_addr, metrics_thread) = match metrics {
+            Some((addr, thread)) => (Some(addr), Some(thread)),
+            None => (None, None),
+        };
         Ok(ServerHandle {
             shared,
             local_addr,
+            metrics_addr,
             acceptor: Some(acceptor),
+            metrics_thread,
             workers: worker_handles,
         })
     }
@@ -378,7 +589,9 @@ impl Server {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     acceptor: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -407,6 +620,12 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound address of the HTTP introspection listener, when
+    /// [`ServeOptions::metrics_addr`] enabled one (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// A trigger other threads can use to start the drain.
@@ -450,6 +669,14 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.local_addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        // Same trick for the HTTP introspection listener: it serves
+        // through the drain and exits once it observes STATE_STOPPED.
+        if let Some(metrics_thread) = self.metrics_thread.take() {
+            if let Some(addr) = self.metrics_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            let _ = metrics_thread.join();
         }
         {
             let streams = self
@@ -606,9 +833,14 @@ fn cleanup_connection(
         let mut inner = slot.inner.lock().unwrap_or_else(|e| e.into_inner());
         // Queued-but-unstarted ops die with the connection: account
         // their in-flight slots back. A Busy op stays counted; its
-        // cancelled worker completes it.
+        // cancelled worker completes it. Each dropped op settles as an
+        // error so `requests == ok + errors + overloaded` still holds at
+        // drain (nobody is left to read a reply, so none is built).
         let dropped = inner.pending.len() as i64;
         inner.pending.clear();
+        if dropped > 0 {
+            shared.c_errors.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
         match std::mem::replace(&mut inner.state, SlotState::Closed) {
             SlotState::Idle(session) => {
                 drop(session);
@@ -646,6 +878,10 @@ fn read_loop(
                 }
             }
             Err(e @ FrameError::Empty) => {
+                // A malformed frame still counts as a received request:
+                // `requests` tracks every answered frame so it reconciles
+                // against `ok + errors + overloaded` at drain.
+                shared.c_requests.fetch_add(1, Ordering::Relaxed);
                 shared.c_errors.fetch_add(1, Ordering::Relaxed);
                 send(tx, error_reply(None, &e.to_string()));
             }
@@ -653,6 +889,7 @@ fn read_loop(
             Err(e @ FrameError::TooLarge(_)) => {
                 // The stream is out of sync past this point: one last
                 // diagnostic, then hang up.
+                shared.c_requests.fetch_add(1, Ordering::Relaxed);
                 shared.c_errors.fetch_add(1, Ordering::Relaxed);
                 send(tx, error_reply(None, &e.to_string()));
                 return;
@@ -671,6 +908,9 @@ fn handle_payload(
     payload: &[u8],
     tx: &Sender<Vec<u8>>,
 ) -> bool {
+    static REQUESTS: sufsat_obs::Counter = sufsat_obs::Counter::new("serve.requests");
+    shared.c_requests.fetch_add(1, Ordering::Relaxed);
+    REQUESTS.incr();
     let req = match parse_request(payload) {
         Ok(req) => req,
         Err((id, message)) => {
@@ -679,14 +919,44 @@ fn handle_payload(
             return true;
         }
     };
-    shared.c_requests.fetch_add(1, Ordering::Relaxed);
-    static REQUESTS: sufsat_obs::Counter = sufsat_obs::Counter::new("serve.requests");
-    REQUESTS.incr();
     let id = req.id;
     match req.op {
         Op::Stats => {
             send(tx, stats_reply(shared, id));
             shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        // Introspection ops are answered inline by the reader thread, so
+        // they keep working while the worker pool is saturated or the
+        // server is draining.
+        Op::Metrics => {
+            send(tx, metrics_reply(shared, id));
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Op::Health => {
+            send(tx, health_reply(shared, id));
+            shared.c_ok.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Op::Debug => {
+            match req.what.as_deref() {
+                Some("slow_requests") => {
+                    send(tx, debug_reply(shared, id));
+                    shared.c_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(what) => {
+                    shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                    send(
+                        tx,
+                        error_reply(id, &format!("unknown debug dump \"{what}\"")),
+                    );
+                }
+                None => {
+                    shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                    send(tx, error_reply(id, "debug requires a \"what\" field"));
+                }
+            }
             true
         }
         Op::Shutdown => {
@@ -793,6 +1063,7 @@ fn handle_payload(
                 deadline: deadline_of(shared, &req),
                 cancel: cancel.clone(),
                 job_key,
+                admitted_at: Instant::now(),
                 reply: tx.clone(),
                 conn: Arc::clone(conn),
             });
@@ -879,6 +1150,7 @@ fn enqueue_session_op(
         deadline: deadline_of(shared, req),
         cancel: cancel.clone(),
         job_key,
+        admitted_at: Instant::now(),
         reply: tx.clone(),
         conn: Arc::clone(conn),
     };
@@ -971,15 +1243,23 @@ fn stats_reply(shared: &Arc<Shared>, id: Option<u64>) -> Vec<u8> {
 
 // ---- workers ----------------------------------------------------------
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, worker: usize) {
+    shared.workers_alive.fetch_add(1, Ordering::AcqRel);
+    let progress = shared.worker_progress[worker].clone();
     while let Some(work) = shared.queue.pop() {
+        shared.worker_states[worker].store(WORKER_BUSY, Ordering::Relaxed);
         match work {
-            Work::Decide(job) => run_decide_job(shared, *job),
-            Work::Session(slot) => run_session_slot(shared, &slot),
+            Work::Decide(job) => run_decide_job(shared, *job, &progress),
+            Work::Session(slot) => run_session_slot(shared, &slot, &progress),
         }
+        // Clear the heartbeat so a snapshot never attributes the finished
+        // job's final counters to an idle worker.
+        progress.clear();
+        shared.worker_states[worker].store(WORKER_IDLE, Ordering::Relaxed);
         shared.gauges();
         shared.maybe_signal_drained();
     }
+    shared.workers_alive.fetch_sub(1, Ordering::AcqRel);
 }
 
 fn complete_job(shared: &Arc<Shared>, conn: &ConnShared, job_key: u64) {
@@ -1067,22 +1347,30 @@ fn deadline_budget(
     }
 }
 
-fn run_decide_job(shared: &Arc<Shared>, mut job: DecideJob) {
-    let span = sufsat_obs::span_with!(
-        "serve.request",
-        op = if job.portfolio { "decide-portfolio" } else { "decide" },
-        conn = job.conn.conn_id,
-    );
+fn run_decide_job(shared: &Arc<Shared>, mut job: DecideJob, progress: &ProgressHandle) {
+    let op = if job.portfolio { "decide-portfolio" } else { "decide" };
+    let span = sufsat_obs::span_with!("serve.request", op = op, conn = job.conn.conn_id);
     let started = Instant::now();
+    let queue_wait = started.saturating_duration_since(job.admitted_at);
+    let mut status = "ok";
     let reply_payload = if job.cancel.is_cancelled() {
+        // The client is gone: the request settles as an error (keeping
+        // `requests == ok + errors + overloaded`), with `cancelled`
+        // recording the detail.
         shared.c_cancelled.fetch_add(1, Ordering::Relaxed);
+        shared.c_errors.fetch_add(1, Ordering::Relaxed);
+        status = "cancelled";
         error_reply(job.id, "cancelled: client disconnected")
     } else {
         match deadline_budget(shared, job.id, job.deadline) {
-            Err(expired) => expired,
+            Err(expired) => {
+                status = "queue_expired";
+                expired
+            }
             Ok(budget) => {
                 job.options.timeout = budget;
                 job.options.cancel = Some(job.cancel.clone());
+                job.options.progress = Some(progress.clone());
                 type DecideRun = Result<
                     (sufsat_core::Outcome, sufsat_core::DecideStats, Option<&'static str>),
                     String,
@@ -1117,23 +1405,39 @@ fn run_decide_job(shared: &Arc<Shared>, mut job: DecideJob) {
                             &[
                                 ("conflict_clauses", stats.conflict_clauses),
                                 ("cnf_clauses", stats.cnf_clauses),
+                                ("queue_us", queue_wait.as_micros() as u64),
                             ],
                             winner,
                         )
                     }
                     Ok(Err(message)) => {
                         shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                        status = "error";
                         error_reply(job.id, &message)
                     }
                     Err(_) => {
                         shared.c_panics.fetch_add(1, Ordering::Relaxed);
                         shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                        status = "panic";
                         error_reply(job.id, "internal error: solver panicked")
                     }
                 }
             }
         }
     };
+    // Record before the reply goes out: a client that reacts to its
+    // reply with a `metrics`/`debug` request is guaranteed to find this
+    // request in the histograms and the slow log. The heartbeat is
+    // captured here, before the worker loop clears it, so a slow-log
+    // entry carries the search's final published counters.
+    shared.record_request(
+        op,
+        job.conn.conn_id,
+        status,
+        queue_wait,
+        job.admitted_at,
+        progress.snapshot(),
+    );
     send(&job.reply, reply_payload);
     complete_job(shared, &job.conn, job.job_key);
     drop(span);
@@ -1148,7 +1452,7 @@ fn mode_name(mode: sufsat_core::EncodingMode) -> &'static str {
     }
 }
 
-fn run_session_slot(shared: &Arc<Shared>, slot: &Arc<SessionSlot>) {
+fn run_session_slot(shared: &Arc<Shared>, slot: &Arc<SessionSlot>, progress: &ProgressHandle) {
     loop {
         // Claim the next op and the session, or unschedule and leave.
         let (job, session) = {
@@ -1167,6 +1471,7 @@ fn run_session_slot(shared: &Arc<Shared>, slot: &Arc<SessionSlot>) {
                 SlotState::Busy => unreachable!("two workers drained one session slot"),
             }
         };
+        let queue_wait = Instant::now().saturating_duration_since(job.admitted_at);
         let span = sufsat_obs::span_with!(
             "serve.request",
             op = job.kind.label(),
@@ -1185,9 +1490,11 @@ fn run_session_slot(shared: &Arc<Shared>, slot: &Arc<SessionSlot>) {
             Gone { dropped: bool },
         }
         let closing = matches!(job.kind, SessionOpKind::Close);
+        let mut status = "ok";
         let (payload, fate) = match session {
             None => {
                 shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                status = "error";
                 (
                     error_reply(job.id, "session already closed"),
                     Fate::Gone { dropped: false },
@@ -1195,19 +1502,25 @@ fn run_session_slot(shared: &Arc<Shared>, slot: &Arc<SessionSlot>) {
             }
             Some(mut session) => {
                 if job.cancel.is_cancelled() {
+                    // Same settlement as a cancelled decide job: the
+                    // error reply is the terminal counter, `cancelled`
+                    // is the detail.
                     shared.c_cancelled.fetch_add(1, Ordering::Relaxed);
+                    shared.c_errors.fetch_add(1, Ordering::Relaxed);
+                    status = "cancelled";
                     (
                         error_reply(job.id, "cancelled: client disconnected"),
                         Fate::Keep(session),
                     )
                 } else {
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        execute_session_op(shared, slot.session_id, &job, &mut session)
+                        execute_session_op(shared, slot.session_id, &job, &mut session, progress)
                     }));
                     match result {
                         Ok(payload) if closing => (payload, Fate::Retire(session)),
                         Ok(payload) => (payload, Fate::Keep(session)),
                         Err(_) => {
+                            status = "panic";
                             // The session's internal state can no longer
                             // be trusted: poison it.
                             drop(session);
@@ -1248,8 +1561,21 @@ fn run_session_slot(shared: &Arc<Shared>, slot: &Arc<SessionSlot>) {
                 }
             }
         }
+        // Record before the reply goes out so a client reacting to its
+        // reply with `metrics`/`debug` already sees this op accounted.
+        shared.record_request(
+            job.kind.label(),
+            job.conn.conn_id,
+            status,
+            queue_wait,
+            job.admitted_at,
+            progress.snapshot(),
+        );
         send(&job.reply, payload);
         complete_job(shared, &job.conn, job.job_key);
+        // One slot drain can run many ops; reset the heartbeat so the
+        // next op starts from a clean snapshot.
+        progress.clear();
         drop(span);
     }
 }
@@ -1259,6 +1585,7 @@ fn execute_session_op(
     session_id: u64,
     job: &SessionOpJob,
     session: &mut Session,
+    progress: &ProgressHandle,
 ) -> Vec<u8> {
     match &job.kind {
         SessionOpKind::Assert(problem) => {
@@ -1306,9 +1633,11 @@ fn execute_session_op(
             let started = Instant::now();
             session.set_timeout(budget);
             session.set_cancel_token(Some(job.cancel.clone()));
+            session.set_progress_handle(Some(progress.clone()));
             let result = session.check();
             session.set_timeout(None);
             session.set_cancel_token(None);
+            session.set_progress_handle(None);
             settle_outcome(shared, &result.outcome);
             verdict_reply(
                 job.id,

@@ -74,6 +74,9 @@ awk -F, '
 echo "==> serve: concurrency + soak battery (mixed clients, disconnects, overload)"
 cargo test -q --release --test serve_session
 
+echo "==> serve: introspection battery (metrics/health/debug ops, slow log, drain flip)"
+cargo test -q --release --test serve_metrics
+
 echo "==> serve: protocol fuzzing (200 malformed frames) + corpus replay"
 ./target/release/sufsat-fuzz --target serve --seed 2026 --cases 200 --quiet \
     --corpus target/fuzz-corpus
@@ -81,12 +84,33 @@ for f in crates/fuzz/corpus/serve-*.hex; do
     ./target/release/sufsat-fuzz --replay-hex "$f"
 done
 
-echo "==> serve: traced 30-second load run + wire-schema validation"
+echo "==> serve: traced 30-second load run + live /metrics scrape + wire-schema validation"
 rm -f target/ci-serve-trace.jsonl
+CI_METRICS_PORT=9173
 ./target/release/serve-bench --duration 30 --clients 4 --workers 2 \
-    --trace target/ci-serve-trace.jsonl --out target/ci-BENCH_serve.json
+    --metrics-addr "127.0.0.1:${CI_METRICS_PORT}" \
+    --trace target/ci-serve-trace.jsonl --out target/ci-BENCH_serve.json &
+BENCH_PID=$!
+# Scrape the Prometheus listener mid-run (no curl in CI: bash /dev/tcp).
+# The key families must be live while load is flowing.
+sleep 10
+exec 3<>"/dev/tcp/127.0.0.1/${CI_METRICS_PORT}"
+printf 'GET /metrics HTTP/1.1\r\nHost: ci\r\n\r\n' >&3
+cat <&3 > target/ci-metrics-scrape.txt
+exec 3<&-
+for family in sufsat_request_latency_us_bucket sufsat_queue_wait_us_bucket \
+              sufsat_queue_depth sufsat_inflight sufsat_sat_conflicts; do
+    if ! grep -q "$family" target/ci-metrics-scrape.txt; then
+        echo "live /metrics scrape is missing family $family" >&2
+        kill "$BENCH_PID" 2>/dev/null || true
+        exit 1
+    fi
+done
+wait "$BENCH_PID"
 ./target/release/paper-eval check-trace target/ci-serve-trace.jsonl
-grep -q '"schema": "sufsat-serve-bench-v1"' target/ci-BENCH_serve.json
+grep -q '"schema": "sufsat-serve-bench-v2"' target/ci-BENCH_serve.json
+# v2 must report queue-wait quantiles next to the latency quantiles.
+grep -q '"queue_wait_us"' target/ci-BENCH_serve.json
 
 echo "==> smoke: differential fuzzing (fixed seed, certified answers)"
 # The panel must include the preprocessing lens (BVE + model

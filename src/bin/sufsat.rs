@@ -22,16 +22,23 @@
 //! `SUFSAT_TRACE=<path|stderr>` enables the same trace recording as
 //! `--trace` (the flag wins when both are given).
 //!
-//! Two subcommands wrap the resident daemon:
+//! Three subcommands wrap the resident daemon:
 //!
 //! ```text
 //! sufsat serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!              [--default-timeout SECS] [--trace PATH|stderr]
+//!              [--metrics-addr HOST:PORT]
 //! sufsat client [--addr HOST:PORT] [--timeout SECS] (FILE | --stats | --shutdown)
+//! sufsat top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--once]
 //! ```
 //!
 //! `serve` runs until SIGTERM/SIGINT or a client `shutdown` request, then
-//! drains gracefully. `client` sends one request to a running daemon.
+//! drains gracefully; `--metrics-addr` additionally exposes Prometheus
+//! text on plain HTTP (`GET /metrics`) and a JSON health probe
+//! (`GET /health`). `client` sends one request to a running daemon.
+//! `top` polls a daemon's `metrics` op and renders a refreshing
+//! terminal dashboard: throughput, overload rate, latency quantiles and
+//! per-worker solver progress.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -43,6 +50,7 @@ fn main() -> ExitCode {
     let code = match std::env::args().nth(1).as_deref() {
         Some("serve") => run_serve(),
         Some("client") => run_client(),
+        Some("top") => run_top(),
         _ => run(),
     };
     // Flush the trace (when one is being recorded) before the process
@@ -75,9 +83,11 @@ fn run_serve() -> ExitCode {
                 opts.default_deadline = Some(Duration::from_secs_f64(secs));
             }
             "--trace" => trace = Some(value("--trace")),
+            "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => {
                 println!("usage: sufsat serve [--addr HOST:PORT] [--workers N] [--queue-cap N]");
                 println!("                    [--default-timeout SECS] [--trace PATH|stderr]");
+                println!("                    [--metrics-addr HOST:PORT]");
                 return ExitCode::SUCCESS;
             }
             other => die(&format!("unknown option `{other}`")),
@@ -88,6 +98,9 @@ fn run_serve() -> ExitCode {
     let handle = sufsat::serve::Server::bind(&*addr, opts)
         .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
     eprintln!("sufsat-serve: listening on {}", handle.local_addr());
+    if let Some(metrics) = handle.metrics_addr() {
+        eprintln!("sufsat-serve: Prometheus exposition on http://{metrics}/metrics");
+    }
     let term = sufsat::serve::termination_flag();
     let trigger = handle.trigger();
     // Drain on the first SIGTERM/SIGINT; a protocol `shutdown` request
@@ -184,6 +197,149 @@ fn run_client() -> ExitCode {
             eprintln!("sufsat: server replied {status}: {detail}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// `sufsat top` — a refreshing terminal dashboard over a daemon's
+/// `metrics` op: throughput, overload rate, latency quantiles and
+/// per-worker solver progress.
+fn run_top() -> ExitCode {
+    use sufsat_obs::json::Json;
+
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut interval = Duration::from_secs(2);
+    let mut iterations: Option<u64> = None;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| die(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--interval" => {
+                let secs: f64 = value("--interval").parse().unwrap_or_else(|_| die("bad --interval"));
+                interval = Duration::from_secs_f64(secs);
+            }
+            "--iterations" => {
+                iterations = Some(value("--iterations").parse().unwrap_or_else(|_| die("bad --iterations")));
+            }
+            "--once" => iterations = Some(1),
+            "--help" | "-h" => {
+                println!("usage: sufsat top [--addr HOST:PORT] [--interval SECS]");
+                println!("                  [--iterations N] [--once]");
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+    let once = iterations == Some(1);
+
+    let u64_of = |v: Option<&Json>| v.and_then(Json::as_u64).unwrap_or(0);
+    let quantiles = |obj: Option<&Json>| -> (u64, u64, u64, u64, u64) {
+        match obj {
+            Some(o) => (
+                u64_of(o.get("count")),
+                u64_of(o.get("p50")),
+                u64_of(o.get("p95")),
+                u64_of(o.get("p99")),
+                u64_of(o.get("max")),
+            ),
+            None => (0, 0, 0, 0, 0),
+        }
+    };
+    let ms = |us: u64| us as f64 / 1000.0;
+
+    // Previous poll's (instant, requests, overloaded) for rate deltas.
+    let mut prev: Option<(std::time::Instant, u64, u64)> = None;
+    let mut round = 0u64;
+    loop {
+        let metrics = sufsat::serve::Client::connect(&*addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| {
+                c.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                c.metrics().map_err(|e| e.to_string())
+            });
+        let metrics = match metrics {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("sufsat top: {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let now = std::time::Instant::now();
+        let counters = metrics.get("counters");
+        let requests = u64_of(counters.and_then(|c| c.get("requests")));
+        let overloaded = u64_of(counters.and_then(|c| c.get("overloaded")));
+        let (rps, overload_rate) = match prev {
+            Some((t0, req0, over0)) if now > t0 => {
+                let dt = now.duration_since(t0).as_secs_f64();
+                let dreq = requests.saturating_sub(req0);
+                let dover = overloaded.saturating_sub(over0);
+                (
+                    dreq as f64 / dt,
+                    if dreq > 0 { dover as f64 / dreq as f64 } else { 0.0 },
+                )
+            }
+            _ => (0.0, 0.0),
+        };
+        prev = Some((now, requests, overloaded));
+
+        let mut screen = String::new();
+        if !once {
+            screen.push_str("\x1b[2J\x1b[H");
+        }
+        let state = metrics.get("state").and_then(Json::as_str).unwrap_or("?");
+        let uptime_s = u64_of(metrics.get("uptime_us")) / 1_000_000;
+        screen.push_str(&format!(
+            "sufsat top — {addr}  [{state}]  up {uptime_s}s\n\n"
+        ));
+        screen.push_str(&format!(
+            "  requests {requests}  ok {}  errors {}  overloaded {}  |  {rps:.1} req/s, {:.1}% overloaded\n",
+            u64_of(counters.and_then(|c| c.get("ok"))),
+            u64_of(counters.and_then(|c| c.get("errors"))),
+            overloaded,
+            overload_rate * 100.0,
+        ));
+        screen.push_str(&format!(
+            "  queue {}  inflight {}  sessions {}  connections {}\n\n",
+            u64_of(metrics.get("queue_depth")),
+            u64_of(metrics.get("inflight")),
+            u64_of(metrics.get("open_sessions")),
+            u64_of(metrics.get("connections")),
+        ));
+        for (label, key) in [
+            ("latency  (all)", "latency_us"),
+            ("latency  (10s)", "window_latency_us"),
+            ("queue-wait    ", "queue_wait_us"),
+        ] {
+            let (count, p50, p95, p99, max) = quantiles(metrics.get(key));
+            screen.push_str(&format!(
+                "  {label}  n={count:<8} p50 {:>9.2} ms  p95 {:>9.2} ms  p99 {:>9.2} ms  max {:>9.2} ms\n",
+                ms(p50), ms(p95), ms(p99), ms(max),
+            ));
+        }
+        screen.push_str("\n  worker  state  conflicts  confl/s  trail  learnts  arena\n");
+        if let Some(Json::Arr(workers)) = metrics.get("workers") {
+            for (i, w) in workers.iter().enumerate() {
+                let state = w.get("state").and_then(Json::as_str).unwrap_or("?");
+                screen.push_str(&format!(
+                    "  {i:>6}  {state:<5}  {:>9}  {:>7}  {:>5}  {:>7}  {:>6} KiB\n",
+                    u64_of(w.get("conflicts")),
+                    u64_of(w.get("conflicts_per_s")),
+                    u64_of(w.get("trail_depth")),
+                    u64_of(w.get("learnt_clauses")),
+                    u64_of(w.get("arena_bytes")) / 1024,
+                ));
+            }
+        }
+        print!("{screen}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        round += 1;
+        if iterations.is_some_and(|n| round >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
     }
 }
 

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use sufsat::serve::{reply_status, reply_verdict, Client, ServeOptions, Server};
+use sufsat::serve::{reply_status, reply_verdict, Client, CounterSnapshot, ServeOptions, Server};
 use sufsat::{decide, DecideOptions, Outcome, TermManager};
 use sufsat_obs::json::{self, Json};
 
@@ -77,6 +77,17 @@ fn php_problem(pigeons: usize) -> String {
 
 fn call(client: &mut Client, body: &str) -> Json {
     client.call(body).expect("request round-trips")
+}
+
+/// At drain every received frame must have been answered exactly once:
+/// `requests == ok + errors + overloaded`. Anything else means a request
+/// was double-counted or silently dropped.
+fn assert_counter_invariant(c: &CounterSnapshot) {
+    assert_eq!(
+        c.requests,
+        c.ok + c.errors + c.overloaded,
+        "requests != ok + errors + overloaded at drain: {c:?}"
+    );
 }
 
 fn u64_field(reply: &Json, key: &str) -> u64 {
@@ -219,6 +230,7 @@ fn soak_mixed_traffic() {
     assert_eq!(report.open_sessions, 0, "sessions leaked past shutdown");
     assert_eq!(report.counters.panics, 0);
     assert!(report.counters.requests >= (CLIENTS * REQUESTS) as u64);
+    assert_counter_invariant(&report.counters);
 }
 
 #[test]
@@ -272,6 +284,7 @@ fn disconnect_mid_solve_frees_the_lane() {
     });
     let report = handle.shutdown();
     assert_eq!(report.inflight, 0);
+    assert_counter_invariant(&report.counters);
 }
 
 #[test]
@@ -326,6 +339,7 @@ fn deadline_expiry_bounds_latency() {
     assert_eq!(report.inflight, 0);
     assert!(report.counters.deadline_expired >= 1);
     assert!(report.counters.timeouts >= 2);
+    assert_counter_invariant(&report.counters);
 }
 
 #[test]
@@ -384,6 +398,7 @@ fn overload_burst_rejects_immediately() {
     let report = handle.shutdown();
     assert_eq!(report.inflight, 0);
     assert!(report.counters.overloaded >= 10);
+    assert_counter_invariant(&report.counters);
 }
 
 #[test]
@@ -432,6 +447,7 @@ fn graceful_shutdown_drains_inflight_work() {
     assert_eq!(report.inflight, 0);
     assert_eq!(report.queued, 0);
     assert_eq!(report.open_sessions, 0);
+    assert_counter_invariant(&report.counters);
 }
 
 #[test]
@@ -473,6 +489,7 @@ fn session_error_paths_are_clean() {
     assert_eq!(panics, Some(0));
     let report = handle.shutdown();
     assert_eq!(report.open_sessions, 0, "closed session leaked");
+    assert_counter_invariant(&report.counters);
 }
 
 #[test]
@@ -494,4 +511,5 @@ fn dropped_connection_reclaims_open_sessions() {
     let report = handle.shutdown();
     assert_eq!(report.open_sessions, 0);
     assert_eq!(report.counters.sessions_opened, 3);
+    assert_counter_invariant(&report.counters);
 }
