@@ -140,9 +140,9 @@ pub fn check_trace(text: &str) -> Result<TraceCheck, Vec<String>> {
 
 /// Field schemas of the known introspection events. Unknown event names
 /// pass unchecked — the trace format is open — but once a producer emits
-/// a `sat.progress` or `serve.slow_request` record it must carry the
-/// full field set consumers (dashboards, `sufsat top`, scrape pipelines)
-/// rely on.
+/// a `sat.progress`, `serve.slow_request` or `cache.*` record it must
+/// carry the full field set consumers (dashboards, `sufsat top`, scrape
+/// pipelines) rely on.
 fn check_event_fields(json: &Json, lineno: usize, errors: &mut Vec<String>) {
     let Some(name) = json.get("name").and_then(Json::as_str) else {
         return;
@@ -165,6 +165,10 @@ fn check_event_fields(json: &Json, lineno: usize, errors: &mut Vec<String>) {
             &["conn", "latency_us", "queue_wait_us", "conflicts"],
             &["op", "status"],
         ),
+        "cache.hit" => (&["bytes"], &["fingerprint"]),
+        "cache.miss" => (&[], &["fingerprint"]),
+        "cache.insert" => (&["bytes", "entries"], &["fingerprint", "verdict"]),
+        "cache.evict" => (&["bytes", "entries"], &["fingerprint"]),
         _ => return,
     };
     let fields = json.get("fields");
@@ -456,6 +460,34 @@ mod tests {
                        \"latency_us\":5,\"queue_wait_us\":1,\"conflicts\":0}}\n";
         let errs = check_trace(untyped).expect_err("op must be a string");
         assert!(errs.iter().any(|e| e.contains("`op`")), "{errs:?}");
+    }
+
+    #[test]
+    fn validates_cache_event_schemas() {
+        let good = concat!(
+            "{\"ts\":1,\"kind\":\"event\",\"name\":\"cache.miss\",\"span\":0,\"thread\":1,\
+             \"fields\":{\"fingerprint\":\"00ff\"}}\n",
+            "{\"ts\":2,\"kind\":\"event\",\"name\":\"cache.insert\",\"span\":0,\"thread\":1,\
+             \"fields\":{\"fingerprint\":\"00ff\",\"verdict\":\"valid\",\"bytes\":256,\
+             \"entries\":1}}\n",
+            "{\"ts\":3,\"kind\":\"event\",\"name\":\"cache.hit\",\"span\":0,\"thread\":1,\
+             \"fields\":{\"fingerprint\":\"00ff\",\"bytes\":256}}\n",
+            "{\"ts\":4,\"kind\":\"event\",\"name\":\"cache.evict\",\"span\":0,\"thread\":1,\
+             \"fields\":{\"fingerprint\":\"00ff\",\"bytes\":256,\"entries\":0}}\n",
+        );
+        let check = check_trace(good).expect("all four cache events validate");
+        assert_eq!(check.events, 4);
+
+        let bare_hit = "{\"ts\":1,\"kind\":\"event\",\"name\":\"cache.hit\",\"span\":0,\
+                        \"thread\":1,\"fields\":{\"bytes\":256}}\n";
+        let errs = check_trace(bare_hit).expect_err("hit without fingerprint");
+        assert!(errs.iter().any(|e| e.contains("`fingerprint`")), "{errs:?}");
+
+        let bare_insert = "{\"ts\":1,\"kind\":\"event\",\"name\":\"cache.insert\",\"span\":0,\
+                           \"thread\":1,\"fields\":{\"fingerprint\":\"00ff\",\"bytes\":256,\
+                           \"entries\":1}}\n";
+        let errs = check_trace(bare_insert).expect_err("insert without verdict");
+        assert!(errs.iter().any(|e| e.contains("`verdict`")), "{errs:?}");
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! The canonicalizer: a deterministic normal form for SUF formulas.
+//!
+//! Two formulas that differ only by symbol names (α-renaming) or by the
+//! order of commutative connective arguments should land on the same
+//! cache key. The canonical form achieves that with three passes over
+//! the term DAG:
+//!
+//! 1. **Structural hashing** (bottom-up): every node gets a
+//!    symbol-insensitive hash — symbols contribute only their kind, and
+//!    the children of commutative connectives (`And`/`Or`/`Iff`/`Eq`)
+//!    are combined in sorted order. Subtree size rides along as a
+//!    tie-break strengthener.
+//! 2. **Canonical traversal** (top-down): an iterative pre-order walk
+//!    from the root that visits commutative children in structural-key
+//!    order and numbers every *symbol* by first occurrence. Ties between
+//!    structurally identical siblings fall back to intern order — that
+//!    can only cost a cache hit, never soundness.
+//! 3. **Serialization**: the DAG (not the tree — shared subterms are
+//!    emitted once and referenced by node index, so canonical bytes stay
+//!    linear in the DAG size) is written as a flat record stream in
+//!    visit order.
+//!
+//! The 128-bit [`fingerprint`] is an in-tree hash of the canonical
+//! bytes. Fingerprint quality only affects shard distribution and false
+//! sharing: the store compares full canonical bytes on lookup, so a
+//! colliding fingerprint is a forced miss, never a wrong answer.
+//!
+//! **Property**: canonically-equal formulas are equisatisfiable by
+//! construction — the normal form only renames symbols (a bijection)
+//! and reorders arguments of commutative connectives (a logical
+//! no-op). The fuzz oracle's `cached` procedure cross-checks this on
+//! every generated case.
+
+use std::collections::HashMap;
+
+use sufsat_suf::{BoolSym, FunSym, PredSym, Term, TermId, TermManager, VarSym};
+
+/// A stable 128-bit cache key.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64, pub u64);
+
+impl Fingerprint {
+    /// Hex rendering, used in trace events and `cache inspect`.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+
+    /// Little-endian byte rendering for the persistent log.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.0.to_le_bytes());
+        out[8..].copy_from_slice(&self.1.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`Fingerprint::to_bytes`].
+    pub fn from_bytes(b: &[u8; 16]) -> Fingerprint {
+        let lo = u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(b[8..].try_into().expect("8 bytes"));
+        Fingerprint(lo, hi)
+    }
+}
+
+/// The canonical form of one formula, plus the symbol bijection needed
+/// to translate models between the original symbols and canonical
+/// indices (in both directions).
+#[derive(Debug, Clone)]
+pub struct Canonical {
+    /// The serialized normal form. Two formulas with equal `bytes` are
+    /// equisatisfiable; the store compares these exactly on lookup.
+    pub bytes: Vec<u8>,
+    /// 128-bit hash of `bytes`.
+    pub fingerprint: Fingerprint,
+    /// Canonical integer-variable index → original symbol.
+    pub int_vars: Vec<VarSym>,
+    /// Canonical Boolean-variable index → original symbol.
+    pub bool_vars: Vec<BoolSym>,
+    /// Canonical function index → original symbol.
+    pub funs: Vec<FunSym>,
+    /// Canonical predicate index → original symbol.
+    pub preds: Vec<PredSym>,
+}
+
+impl Canonical {
+    /// Canonical index of `v`, when it occurs in the formula.
+    pub fn int_var_index(&self, v: VarSym) -> Option<u32> {
+        self.int_vars.iter().position(|&x| x == v).map(|i| i as u32)
+    }
+
+    /// Canonical index of `b`, when it occurs in the formula.
+    pub fn bool_var_index(&self, b: BoolSym) -> Option<u32> {
+        self.bool_vars.iter().position(|&x| x == b).map(|i| i as u32)
+    }
+}
+
+// Per-variant tags for the serialized records. Frozen: changing any of
+// these invalidates every persisted cache log (bump the log magic too).
+const TAG_TRUE: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_NOT: u8 = 2;
+const TAG_AND: u8 = 3;
+const TAG_OR: u8 = 4;
+const TAG_IMPLIES: u8 = 5;
+const TAG_IFF: u8 = 6;
+const TAG_ITE_BOOL: u8 = 7;
+const TAG_EQ: u8 = 8;
+const TAG_LT: u8 = 9;
+const TAG_BOOL_VAR: u8 = 10;
+const TAG_PAPP: u8 = 11;
+const TAG_INT_VAR: u8 = 12;
+const TAG_SUCC: u8 = 13;
+const TAG_PRED: u8 = 14;
+const TAG_ITE_INT: u8 = 15;
+const TAG_APP: u8 = 16;
+
+fn tag_of(term: &Term) -> u8 {
+    match term {
+        Term::True => TAG_TRUE,
+        Term::False => TAG_FALSE,
+        Term::Not(_) => TAG_NOT,
+        Term::And(_, _) => TAG_AND,
+        Term::Or(_, _) => TAG_OR,
+        Term::Implies(_, _) => TAG_IMPLIES,
+        Term::Iff(_, _) => TAG_IFF,
+        Term::IteBool(_, _, _) => TAG_ITE_BOOL,
+        Term::Eq(_, _) => TAG_EQ,
+        Term::Lt(_, _) => TAG_LT,
+        Term::BoolVar(_) => TAG_BOOL_VAR,
+        Term::PApp(_, _) => TAG_PAPP,
+        Term::IntVar(_) => TAG_INT_VAR,
+        Term::Succ(_) => TAG_SUCC,
+        Term::Pred(_) => TAG_PRED,
+        Term::IteInt(_, _, _) => TAG_ITE_INT,
+        Term::App(_, _) => TAG_APP,
+    }
+}
+
+fn commutative(term: &Term) -> bool {
+    matches!(
+        term,
+        Term::And(_, _) | Term::Or(_, _) | Term::Iff(_, _) | Term::Eq(_, _)
+    )
+}
+
+/// splitmix64 finalizer — the workspace's standard bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Symbol-insensitive structural key: `(hash, subtree size)`. Sorting
+/// commutative children by this key (original `TermId` as the final
+/// tie-break) makes the traversal order independent of argument order.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct StructKey {
+    hash: u64,
+    size: u32,
+}
+
+fn struct_keys(tm: &TermManager, order: &[TermId]) -> Vec<StructKey> {
+    let max_index = order.iter().map(|t| t.index()).max().unwrap_or(0);
+    let mut keys = vec![StructKey { hash: 0, size: 0 }; max_index + 1];
+    for &t in order {
+        let term = tm.term(t);
+        let mut h = mix(0x5354_5255_4354 ^ u64::from(tag_of(term)));
+        let mut size = 1u32;
+        let children = tm.children(t);
+        if commutative(term) {
+            let mut child_keys: Vec<StructKey> =
+                children.iter().map(|c| keys[c.index()]).collect();
+            child_keys.sort_unstable();
+            for k in child_keys {
+                h = mix(h ^ k.hash);
+                size = size.saturating_add(k.size);
+            }
+        } else {
+            for c in &children {
+                let k = keys[c.index()];
+                h = mix(h.rotate_left(7) ^ k.hash);
+                size = size.saturating_add(k.size);
+            }
+        }
+        // Variable-arity applications fold the arity in; symbols
+        // deliberately contribute nothing beyond the tag.
+        if let Term::App(_, args) | Term::PApp(_, args) = term {
+            h = mix(h ^ (args.len() as u64) << 32);
+        }
+        keys[t.index()] = StructKey { hash: h, size };
+    }
+    keys
+}
+
+struct Numbering {
+    int_vars: Vec<VarSym>,
+    bool_vars: Vec<BoolSym>,
+    funs: Vec<FunSym>,
+    preds: Vec<PredSym>,
+    int_map: HashMap<VarSym, u32>,
+    bool_map: HashMap<BoolSym, u32>,
+    fun_map: HashMap<FunSym, u32>,
+    pred_map: HashMap<PredSym, u32>,
+}
+
+impl Numbering {
+    fn new() -> Numbering {
+        Numbering {
+            int_vars: Vec::new(),
+            bool_vars: Vec::new(),
+            funs: Vec::new(),
+            preds: Vec::new(),
+            int_map: HashMap::new(),
+            bool_map: HashMap::new(),
+            fun_map: HashMap::new(),
+            pred_map: HashMap::new(),
+        }
+    }
+
+    fn int_var(&mut self, v: VarSym) -> u32 {
+        *self.int_map.entry(v).or_insert_with(|| {
+            self.int_vars.push(v);
+            (self.int_vars.len() - 1) as u32
+        })
+    }
+
+    fn bool_var(&mut self, b: BoolSym) -> u32 {
+        *self.bool_map.entry(b).or_insert_with(|| {
+            self.bool_vars.push(b);
+            (self.bool_vars.len() - 1) as u32
+        })
+    }
+
+    fn fun(&mut self, f: FunSym) -> u32 {
+        *self.fun_map.entry(f).or_insert_with(|| {
+            self.funs.push(f);
+            (self.funs.len() - 1) as u32
+        })
+    }
+
+    fn pred(&mut self, p: PredSym) -> u32 {
+        *self.pred_map.entry(p).or_insert_with(|| {
+            self.preds.push(p);
+            (self.preds.len() - 1) as u32
+        })
+    }
+}
+
+/// Children of `t` in canonical visit order: structural-key order for
+/// commutative connectives, natural order otherwise.
+fn ordered_children(tm: &TermManager, keys: &[StructKey], t: TermId) -> Vec<TermId> {
+    let mut children = tm.children(t);
+    if commutative(tm.term(t)) {
+        children.sort_by_key(|c| (keys[c.index()], c.index()));
+    }
+    children
+}
+
+/// Computes the canonical form of `root`.
+pub fn canonicalize(tm: &TermManager, root: TermId) -> Canonical {
+    let postorder = tm.postorder(root);
+    let keys = struct_keys(tm, &postorder);
+
+    // Pass 2a: iterative pre-order DFS assigning canonical node indices
+    // in visit order (first visit wins — shared subterms keep one index).
+    let mut node_index: HashMap<TermId, u32> = HashMap::new();
+    let mut visit_order: Vec<TermId> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(t) = stack.pop() {
+        if node_index.contains_key(&t) {
+            continue;
+        }
+        node_index.insert(t, visit_order.len() as u32);
+        visit_order.push(t);
+        let children = ordered_children(tm, &keys, t);
+        // Reverse push so the first canonical child is visited first.
+        for &c in children.iter().rev() {
+            stack.push(c);
+        }
+    }
+
+    // Pass 2b/3: emit records in visit order, numbering symbols by
+    // first occurrence as we go.
+    let mut numbering = Numbering::new();
+    let mut bytes: Vec<u8> = Vec::with_capacity(visit_order.len() * 8);
+    for &t in &visit_order {
+        let term = tm.term(t);
+        bytes.push(tag_of(term));
+        match term {
+            Term::BoolVar(b) => {
+                bytes.extend_from_slice(&numbering.bool_var(*b).to_le_bytes());
+            }
+            Term::IntVar(v) => {
+                bytes.extend_from_slice(&numbering.int_var(*v).to_le_bytes());
+            }
+            Term::App(f, _) => {
+                bytes.extend_from_slice(&numbering.fun(*f).to_le_bytes());
+            }
+            Term::PApp(p, _) => {
+                bytes.extend_from_slice(&numbering.pred(*p).to_le_bytes());
+            }
+            _ => {}
+        }
+        let children = ordered_children(tm, &keys, t);
+        // Fixed-arity tags imply their child count; only applications
+        // need it spelled out.
+        if matches!(term, Term::App(_, _) | Term::PApp(_, _)) {
+            bytes.extend_from_slice(&(children.len() as u16).to_le_bytes());
+        }
+        for c in children {
+            bytes.extend_from_slice(&node_index[&c].to_le_bytes());
+        }
+    }
+
+    let fingerprint = fingerprint(&bytes);
+    Canonical {
+        bytes,
+        fingerprint,
+        int_vars: numbering.int_vars,
+        bool_vars: numbering.bool_vars,
+        funs: numbering.funs,
+        preds: numbering.preds,
+    }
+}
+
+/// 128-bit in-tree hash of `bytes`: two independent 64-bit streams (an
+/// FNV-1a variant and a rotate-multiply stream), each finalized with
+/// splitmix64.
+pub fn fingerprint(bytes: &[u8]) -> Fingerprint {
+    let mut a = 0xcbf2_9ce4_8422_2325u64;
+    let mut b = 0x9e37_79b9_7f4a_7c15u64;
+    for &x in bytes {
+        a = (a ^ u64::from(x)).wrapping_mul(0x0000_0100_0000_01b3);
+        b = (b.rotate_left(5) ^ u64::from(x)).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    }
+    a = mix(a ^ (bytes.len() as u64));
+    b = mix(b ^ (bytes.len() as u64).rotate_left(32));
+    Fingerprint(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufsat_suf::parse_problem;
+
+    fn canon_of(text: &str) -> Canonical {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(&mut tm, text).expect("parses");
+        canonicalize(&tm, phi)
+    }
+
+    #[test]
+    fn alpha_renamed_formulas_share_a_fingerprint() {
+        let a = canon_of(
+            "(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))",
+        );
+        let b = canon_of(
+            "(vars p q) (funs (g 1)) (formula (=> (= p q) (= (g p) (g q))))",
+        );
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn declaration_order_does_not_matter() {
+        // Same formula, but the unused declarations come in a different
+        // order, shifting every symbol's intern index.
+        let a = canon_of("(vars x y z) (formula (= x y))");
+        let b = canon_of("(vars z y x) (formula (= y x))");
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn shuffled_conjuncts_share_a_fingerprint() {
+        let a = canon_of("(vars x y z) (formula (and (= x y) (< y z)))");
+        let b = canon_of("(vars x y z) (formula (and (< y z) (= x y)))");
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.fingerprint, b.fingerprint);
+
+        let c = canon_of("(vars a b c) (formula (and (< b c) (= a b)))");
+        assert_eq!(a.bytes, c.bytes);
+    }
+
+    #[test]
+    fn sat_and_unsat_pair_get_distinct_fingerprints() {
+        // A classic valid/invalid pair: congruence and its converse.
+        let valid = canon_of(
+            "(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))",
+        );
+        let invalid = canon_of(
+            "(vars x y) (funs (f 1)) (formula (=> (= (f x) (f y)) (= x y)))",
+        );
+        assert_ne!(valid.bytes, invalid.bytes);
+        assert_ne!(valid.fingerprint, invalid.fingerprint);
+    }
+
+    #[test]
+    fn non_commutative_order_is_preserved() {
+        let a = canon_of("(vars x y) (formula (< x y))");
+        let b = canon_of("(vars x y) (formula (< y x))");
+        // Both canonicalize to "first-seen var < second-seen var", which
+        // is the *same* normal form — they are indeed α-equivalent.
+        assert_eq!(a.bytes, b.bytes);
+        let c = canon_of("(vars x) (formula (< x (succ x)))");
+        let d = canon_of("(vars x) (formula (< (succ x) x))");
+        assert_ne!(c.bytes, d.bytes);
+    }
+
+    #[test]
+    fn symbol_maps_expose_first_occurrence_order() {
+        let mut tm = TermManager::new();
+        let phi = parse_problem(&mut tm, "(vars x y) (formula (< y x))").expect("parses");
+        let canon = canonicalize(&tm, phi);
+        // `y` occurs first in the canonical traversal.
+        let y = tm.find_int_var("y").expect("declared");
+        let x = tm.find_int_var("x").expect("declared");
+        assert_eq!(canon.int_var_index(y), Some(0));
+        assert_eq!(canon.int_var_index(x), Some(1));
+        assert_eq!(canon.int_vars.len(), 2);
+    }
+
+    #[test]
+    fn dag_sharing_keeps_bytes_linear() {
+        // A tower of shared conjunctions would explode as a tree.
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let mut t = tm.mk_eq(x, y);
+        for i in 0..40 {
+            // Each level references `t` twice, so the tree doubles while
+            // the DAG grows by two nodes (the folding in `mk_and` never
+            // fires: the operands are always distinct).
+            let b = tm.bool_var(&format!("b{i}"));
+            let left = tm.mk_or(t, b);
+            t = tm.mk_and(left, t);
+        }
+        let canon = canonicalize(&tm, t);
+        assert!(canon.bytes.len() < 4096, "{} bytes", canon.bytes.len());
+    }
+
+    #[test]
+    fn fingerprint_bytes_round_trip() {
+        let fp = fingerprint(b"sufsat");
+        assert_eq!(Fingerprint::from_bytes(&fp.to_bytes()), fp);
+        assert_eq!(fp.to_hex().len(), 32);
+    }
+}

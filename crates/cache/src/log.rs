@@ -1,0 +1,513 @@
+//! Append-only persistent cache log.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! magic: b"SUFCACH1"            (8 bytes)
+//! record*:
+//!   len   u32 LE                payload length
+//!   crc   u32 LE                CRC-32 (IEEE) of the payload
+//!   payload:
+//!     fingerprint               16 bytes (two u64 LE)
+//!     canon_len  u32 LE
+//!     canon      [u8; canon_len]
+//!     verdict    u8              0 = valid, 1 = invalid
+//!     int_count  u32 LE
+//!     (idx u32 LE, value i64 LE) * int_count
+//!     bool_count u32 LE
+//!     (idx u32 LE, value u8)    * bool_count
+//!     digest     8 * u64 LE      (see [`StatsDigest`])
+//! ```
+//!
+//! The log is append-only: a later record for the same fingerprint wins.
+//! Loading stops at the first damaged record (length overruns the file,
+//! or CRC mismatch) and truncates the file back to the last good offset,
+//! so a crash mid-append costs at most the torn record. Compaction
+//! rewrites the log keeping only the last record per fingerprint, via a
+//! temp file + atomic rename.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::canon::Fingerprint;
+use crate::{CacheValue, CachedVerdict, StatsDigest};
+
+const MAGIC: &[u8; 8] = b"SUFCACH1";
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    pub fingerprint: Fingerprint,
+    pub canon: Vec<u8>,
+    pub value: CacheValue,
+}
+
+/// Outcome of loading a log file.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Records decoded (before last-wins dedup).
+    pub records: usize,
+    /// Distinct fingerprints after last-wins dedup.
+    pub unique: usize,
+    /// Bytes dropped from a torn or corrupt tail (0 for a clean log).
+    pub truncated_bytes: u64,
+    /// File size after any truncation.
+    pub file_bytes: u64,
+}
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn encode_payload(fp: Fingerprint, canon: &[u8], value: &CacheValue) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 4 + canon.len() + 1 + 8 + 64);
+    out.extend_from_slice(&fp.to_bytes());
+    out.extend_from_slice(&(canon.len() as u32).to_le_bytes());
+    out.extend_from_slice(canon);
+    out.push(match value.verdict {
+        CachedVerdict::Valid => 0,
+        CachedVerdict::Invalid => 1,
+    });
+    out.extend_from_slice(&(value.int_model.len() as u32).to_le_bytes());
+    for &(idx, v) in &value.int_model {
+        out.extend_from_slice(&idx.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(value.bool_model.len() as u32).to_le_bytes());
+    for &(idx, v) in &value.bool_model {
+        out.extend_from_slice(&idx.to_le_bytes());
+        out.push(v as u8);
+    }
+    for field in value.digest.as_fields() {
+        out.extend_from_slice(&field.to_le_bytes());
+    }
+    out
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<LogRecord> {
+    let mut cur = Cursor { data: payload, pos: 0 };
+    let fingerprint = Fingerprint::from_bytes(cur.take(16)?.try_into().unwrap());
+    let canon_len = cur.u32()? as usize;
+    let canon = cur.take(canon_len)?.to_vec();
+    let verdict = match cur.u8()? {
+        0 => CachedVerdict::Valid,
+        1 => CachedVerdict::Invalid,
+        _ => return None,
+    };
+    let int_count = cur.u32()? as usize;
+    // Guard against absurd counts from a corrupt-but-CRC-lucky record.
+    if int_count > payload.len() {
+        return None;
+    }
+    let mut int_model = Vec::with_capacity(int_count);
+    for _ in 0..int_count {
+        int_model.push((cur.u32()?, cur.i64()?));
+    }
+    let bool_count = cur.u32()? as usize;
+    if bool_count > payload.len() {
+        return None;
+    }
+    let mut bool_model = Vec::with_capacity(bool_count);
+    for _ in 0..bool_count {
+        bool_model.push((cur.u32()?, cur.u8()? != 0));
+    }
+    let mut fields = [0u64; StatsDigest::FIELDS];
+    for field in fields.iter_mut() {
+        *field = cur.u64()?;
+    }
+    if cur.pos != payload.len() {
+        return None;
+    }
+    Some(LogRecord {
+        fingerprint,
+        canon,
+        value: CacheValue {
+            verdict,
+            int_model,
+            bool_model,
+            digest: StatsDigest::from_fields(fields),
+        },
+    })
+}
+
+/// The append handle plus load/compact entry points.
+pub struct CacheLog {
+    path: PathBuf,
+    file: File,
+}
+
+impl CacheLog {
+    /// Opens (creating if absent) the log at `path` for appending. The
+    /// existing contents are scanned, a damaged tail is truncated away,
+    /// and the surviving records are returned last-wins deduped.
+    pub fn open(path: &Path) -> std::io::Result<(CacheLog, Vec<LogRecord>, LoadReport)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+
+        let mut report = LoadReport::default();
+        let mut records = Vec::new();
+        let mut good_end: u64;
+
+        if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+            // Empty or unrecognized: start fresh.
+            report.truncated_bytes = data.len() as u64;
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+            good_end = MAGIC.len() as u64;
+        } else {
+            let mut pos = MAGIC.len();
+            good_end = pos as u64;
+            while pos + 8 <= data.len() {
+                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+                let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+                let Some(end) = pos.checked_add(8).and_then(|p| p.checked_add(len)) else {
+                    break;
+                };
+                if end > data.len() {
+                    break;
+                }
+                let payload = &data[pos + 8..end];
+                if crc32(payload) != crc {
+                    break;
+                }
+                let Some(record) = decode_payload(payload) else {
+                    break;
+                };
+                records.push(record);
+                pos = end;
+                good_end = pos as u64;
+            }
+            report.truncated_bytes = data.len() as u64 - good_end;
+            if report.truncated_bytes > 0 {
+                file.set_len(good_end)?;
+            }
+        }
+
+        file.seek(SeekFrom::Start(good_end))?;
+        report.records = records.len();
+
+        // Last record per fingerprint wins; preserve first-seen order.
+        let mut last: HashMap<Fingerprint, usize> = HashMap::new();
+        for (i, record) in records.iter().enumerate() {
+            last.insert(record.fingerprint, i);
+        }
+        let mut deduped = Vec::with_capacity(last.len());
+        for (i, record) in records.into_iter().enumerate() {
+            if last[&record.fingerprint] == i {
+                deduped.push(record);
+            }
+        }
+        report.unique = deduped.len();
+        report.file_bytes = good_end;
+
+        Ok((CacheLog { path: path.to_path_buf(), file }, deduped, report))
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(
+        &mut self,
+        fp: Fingerprint,
+        canon: &[u8],
+        value: &CacheValue,
+    ) -> std::io::Result<()> {
+        let payload = encode_payload(fp, canon, value);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()
+    }
+
+    /// Rewrites the log keeping only `records`, via temp file + rename.
+    /// Returns the compacted size in bytes.
+    pub fn compact(&mut self, records: &[LogRecord]) -> std::io::Result<u64> {
+        let tmp_path = self.path.with_extension("tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(MAGIC)?;
+        for record in records {
+            let payload = encode_payload(record.fingerprint, &record.canon, &record.value);
+            tmp.write_all(&(payload.len() as u32).to_le_bytes())?;
+            tmp.write_all(&crc32(&payload).to_le_bytes())?;
+            tmp.write_all(&payload)?;
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen so future appends go to the new file.
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        let size = self.file.seek(SeekFrom::End(0))?;
+        Ok(size)
+    }
+
+    /// Current size of the log file in bytes.
+    pub fn size(&mut self) -> std::io::Result<u64> {
+        self.file.seek(SeekFrom::End(0))
+    }
+
+    /// The path this log writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read-only scan of a log file (for `sufsat cache inspect`): returns
+/// the deduped records and a report, without opening for append or
+/// truncating a damaged tail.
+pub fn scan(path: &Path) -> std::io::Result<(Vec<LogRecord>, LoadReport)> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    let mut report = LoadReport {
+        file_bytes: data.len() as u64,
+        ..LoadReport::default()
+    };
+    let mut records = Vec::new();
+    if data.len() >= MAGIC.len() && &data[..MAGIC.len()] == MAGIC {
+        let mut pos = MAGIC.len();
+        let mut good_end = pos;
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let Some(end) = pos.checked_add(8).and_then(|p| p.checked_add(len)) else {
+                break;
+            };
+            if end > data.len() || crc32(&data[pos + 8..end]) != crc {
+                break;
+            }
+            let Some(record) = decode_payload(&data[pos + 8..end]) else {
+                break;
+            };
+            records.push(record);
+            pos = end;
+            good_end = pos;
+        }
+        report.truncated_bytes = (data.len() - good_end) as u64;
+    } else {
+        report.truncated_bytes = data.len() as u64;
+    }
+    report.records = records.len();
+    let mut last: HashMap<Fingerprint, usize> = HashMap::new();
+    for (i, record) in records.iter().enumerate() {
+        last.insert(record.fingerprint, i);
+    }
+    let mut deduped = Vec::with_capacity(last.len());
+    for (i, record) in records.into_iter().enumerate() {
+        if last[&record.fingerprint] == i {
+            deduped.push(record);
+        }
+    }
+    report.unique = deduped.len();
+    Ok((deduped, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(n: i64) -> CacheValue {
+        CacheValue {
+            verdict: if n % 2 == 0 { CachedVerdict::Valid } else { CachedVerdict::Invalid },
+            int_model: vec![(0, n), (1, -n)],
+            bool_model: vec![(0, n % 2 == 0)],
+            digest: StatsDigest::default(),
+        }
+    }
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint(n, n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let dir = std::env::temp_dir().join(format!("sufsat-cache-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.log");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let (mut log, records, report) = CacheLog::open(&path).unwrap();
+            assert!(records.is_empty());
+            assert_eq!(report.truncated_bytes, 0);
+            for n in 0..5 {
+                log.append(fp(n), format!("canon-{n}").as_bytes(), &value(n as i64)).unwrap();
+            }
+            // Overwrite fingerprint 2: the later record must win.
+            log.append(fp(2), b"canon-2", &value(99)).unwrap();
+        }
+
+        let (_log, records, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(report.records, 6);
+        assert_eq!(report.unique, 5);
+        assert_eq!(report.truncated_bytes, 0);
+        let rec2 = records.iter().find(|r| r.fingerprint == fp(2)).unwrap();
+        assert_eq!(rec2.value, value(99));
+        let rec0 = records.iter().find(|r| r.fingerprint == fp(0)).unwrap();
+        assert_eq!(rec0.canon, b"canon-0");
+        assert_eq!(rec0.value, value(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_loads_cleanly() {
+        let dir = std::env::temp_dir().join(format!("sufsat-cache-tt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.log");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let (mut log, _, _) = CacheLog::open(&path).unwrap();
+            for n in 0..4 {
+                log.append(fp(n), b"payload", &value(n as i64)).unwrap();
+            }
+        }
+        // Tear the tail: chop 5 bytes off the final record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let (mut log, records, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(records.len(), 3, "only the torn record is lost");
+        assert!(report.truncated_bytes > 0);
+        // The log stays appendable after recovery.
+        log.append(fp(9), b"after", &value(9)).unwrap();
+        drop(log);
+        let (_, records, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(report.truncated_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_tail_is_dropped() {
+        let dir = std::env::temp_dir().join(format!("sufsat-cache-bf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.log");
+        let _ = std::fs::remove_file(&path);
+
+        let second_starts;
+        {
+            let (mut log, _, _) = CacheLog::open(&path).unwrap();
+            log.append(fp(1), b"first", &value(1)).unwrap();
+            second_starts = log.size().unwrap();
+            log.append(fp(2), b"second", &value(2)).unwrap();
+        }
+        // Flip one payload bit inside the second record.
+        let mut data = std::fs::read(&path).unwrap();
+        let idx = second_starts as usize + 8 + 3;
+        data[idx] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+
+        let (_, records, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(records.len(), 1, "crc catches the flip");
+        assert_eq!(records[0].fingerprint, fp(1));
+        assert!(report.truncated_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_one_record_per_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("sufsat-cache-cp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.log");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let (mut log, _, _) = CacheLog::open(&path).unwrap();
+            for round in 0..10 {
+                for n in 0..3 {
+                    log.append(fp(n), b"same", &value(round)).unwrap();
+                }
+            }
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        let (mut log, records, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(report.records, 30);
+        assert_eq!(records.len(), 3);
+        let after = log.compact(&records).unwrap();
+        assert!(after < before, "compaction shrinks ({after} vs {before})");
+        drop(log);
+        let (_, records, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(report.records, 3);
+        assert_eq!(records.len(), 3);
+        for record in &records {
+            assert_eq!(record.value, value(9), "last round's value survived");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unrecognized_file_is_reset() {
+        let dir = std::env::temp_dir().join(format!("sufsat-cache-ur-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.log");
+        std::fs::write(&path, b"not a cache log at all").unwrap();
+        let (mut log, records, report) = CacheLog::open(&path).unwrap();
+        assert!(records.is_empty());
+        assert!(report.truncated_bytes > 0);
+        log.append(fp(1), b"x", &value(1)).unwrap();
+        drop(log);
+        let (_, records, _) = CacheLog::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

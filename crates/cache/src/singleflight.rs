@@ -1,0 +1,373 @@
+//! Single-flight dedup: concurrent identical requests coalesce onto one
+//! in-flight computation.
+//!
+//! # The state machine
+//!
+//! A *flight* is keyed by fingerprint. The first joiner becomes the
+//! **leader** and receives a [`LeaderGuard`]; everyone else becomes a
+//! **follower** and blocks — with its *own* deadline — until one of:
+//!
+//! * the leader [`LeaderGuard::complete`]s → the follower gets the
+//!   value (`Joined::Done`);
+//! * the leader's guard is dropped without completing (its connection
+//!   died, it panicked, its solve was cancelled) → the flight is
+//!   *abandoned* and exactly one waiting follower is **promoted**: its
+//!   `join` returns `Joined::Leader` and it computes the result itself,
+//!   while the remaining followers keep waiting on the new leader.
+//!   Without promotion a dropped leader would strand every follower;
+//!   with it, one client disconnect costs one re-election, nothing more;
+//! * the follower's deadline expires → `Joined::TimedOut`, and the
+//!   caller decides (typically: answer `unknown:timeout`, exactly as if
+//!   it had run the solve itself).
+//!
+//! ```text
+//!            join (first)                    complete(v)
+//!   (none) ───────────────→ Running ──────────────────────→ Done(v)
+//!                             │  ▲                            │
+//!                 guard drop  │  │ a follower claims          │ followers
+//!                             ▼  │ leadership                 ▼ drain
+//!                          Abandoned ──(no waiters)──→ flight removed
+//! ```
+//!
+//! Flights never cache: a completed flight is removed from the map, so
+//! the *store* (with its LRU policy) remains the only layer that holds
+//! results. Values are `Clone`d out to each follower.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::canon::Fingerprint;
+
+enum State<V> {
+    /// A leader is computing.
+    Running,
+    /// The leader finished; followers drain this value.
+    Done(V),
+    /// The leader gave up without a value; leadership is up for grabs.
+    Abandoned,
+}
+
+struct FlightInner<V> {
+    state: State<V>,
+    /// Followers currently blocked in `join`.
+    waiters: usize,
+}
+
+struct Flight<V> {
+    inner: Mutex<FlightInner<V>>,
+    cv: Condvar,
+}
+
+/// How a `join` resolved.
+pub enum Joined<V> {
+    /// You are the leader: compute the result, then call
+    /// [`LeaderGuard::complete`] (or drop the guard to abandon).
+    Leader(LeaderGuard<V>),
+    /// Another request already computed the value.
+    Done(V),
+    /// The deadline expired while a leader was still computing.
+    TimedOut,
+}
+
+/// Leadership of one flight. Dropping the guard without calling
+/// [`complete`](LeaderGuard::complete) abandons the flight, promoting a
+/// waiting follower (if any) to leader.
+pub struct LeaderGuard<V> {
+    sf: Arc<SingleFlightInner<V>>,
+    key: Fingerprint,
+    flight: Arc<Flight<V>>,
+    completed: bool,
+}
+
+impl<V: Clone> LeaderGuard<V> {
+    /// Publishes the value to every waiting follower and retires the
+    /// flight.
+    pub fn complete(mut self, value: V) {
+        {
+            let mut inner = self.flight.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.state = State::Done(value);
+            self.flight.cv.notify_all();
+        }
+        self.completed = true;
+        self.sf.remove_if_current(self.key, &self.flight);
+    }
+}
+
+impl<V> Drop for LeaderGuard<V> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let waiters = {
+            let mut inner = self.flight.inner.lock().unwrap_or_else(|e| e.into_inner());
+            // A promoted follower may already have re-claimed leadership
+            // through this same guard type; only a Running flight can be
+            // abandoned by its leader.
+            if matches!(inner.state, State::Running) {
+                inner.state = State::Abandoned;
+                self.flight.cv.notify_all();
+            }
+            inner.waiters
+        };
+        if waiters == 0 {
+            self.sf.remove_if_current(self.key, &self.flight);
+        }
+    }
+}
+
+struct SingleFlightInner<V> {
+    flights: Mutex<HashMap<Fingerprint, Arc<Flight<V>>>>,
+}
+
+impl<V> SingleFlightInner<V> {
+    /// Removes `key` from the map, but only while it still maps to this
+    /// exact flight — a successor flight under the same key stays.
+    fn remove_if_current(&self, key: Fingerprint, flight: &Arc<Flight<V>>) {
+        let mut map = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(current) = map.get(&key) {
+            if Arc::ptr_eq(current, flight) {
+                map.remove(&key);
+            }
+        }
+    }
+}
+
+/// The single-flight table.
+pub struct SingleFlight<V> {
+    inner: Arc<SingleFlightInner<V>>,
+}
+
+impl<V: Clone> Default for SingleFlight<V> {
+    fn default() -> SingleFlight<V> {
+        SingleFlight::new()
+    }
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// An empty table.
+    pub fn new() -> SingleFlight<V> {
+        SingleFlight {
+            inner: Arc::new(SingleFlightInner {
+                flights: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Flights currently in the map (leaders computing or followers
+    /// draining an abandonment).
+    pub fn in_flight(&self) -> usize {
+        self.inner
+            .flights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Joins the flight for `key`. `deadline` bounds how long a follower
+    /// may wait (`None` = unbounded).
+    pub fn join(&self, key: Fingerprint, deadline: Option<Instant>) -> Joined<V> {
+        let flight = {
+            let mut map = self.inner.flights.lock().unwrap_or_else(|e| e.into_inner());
+            match map.get(&key) {
+                Some(flight) => Arc::clone(flight),
+                None => {
+                    let flight = Arc::new(Flight {
+                        inner: Mutex::new(FlightInner {
+                            state: State::Running,
+                            waiters: 0,
+                        }),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(key, Arc::clone(&flight));
+                    return Joined::Leader(LeaderGuard {
+                        sf: Arc::clone(&self.inner),
+                        key,
+                        flight,
+                        completed: false,
+                    });
+                }
+            }
+        };
+
+        let mut inner = flight.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.waiters += 1;
+        loop {
+            match &inner.state {
+                State::Done(v) => {
+                    let value = v.clone();
+                    inner.waiters -= 1;
+                    return Joined::Done(value);
+                }
+                State::Abandoned => {
+                    // Promotion: this follower claims leadership and
+                    // computes the result itself.
+                    inner.state = State::Running;
+                    inner.waiters -= 1;
+                    drop(inner);
+                    return Joined::Leader(LeaderGuard {
+                        sf: Arc::clone(&self.inner),
+                        key,
+                        flight: Arc::clone(&flight),
+                        completed: false,
+                    });
+                }
+                State::Running => {}
+            }
+            match deadline {
+                None => {
+                    inner = flight.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        inner.waiters -= 1;
+                        let orphaned =
+                            matches!(inner.state, State::Abandoned) && inner.waiters == 0;
+                        drop(inner);
+                        if orphaned {
+                            // Last one out retires an unclaimed flight.
+                            self.inner.remove_if_current(key, &flight);
+                        }
+                        return Joined::TimedOut;
+                    }
+                    let (guard, _) = flight
+                        .cv
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    inner = guard;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn key(n: u64) -> Fingerprint {
+        Fingerprint(n, n)
+    }
+
+    #[test]
+    fn followers_coalesce_onto_one_leader() {
+        let sf = Arc::new(SingleFlight::<u64>::new());
+        let solves = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for _ in 0..8 {
+                let sf = Arc::clone(&sf);
+                let solves = Arc::clone(&solves);
+                joins.push(s.spawn(move || {
+                    match sf.join(key(1), Some(Instant::now() + Duration::from_secs(10))) {
+                        Joined::Leader(guard) => {
+                            solves.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(20));
+                            guard.complete(42);
+                            42
+                        }
+                        Joined::Done(v) => v,
+                        Joined::TimedOut => panic!("unexpected timeout"),
+                    }
+                }));
+            }
+            for j in joins {
+                assert_eq!(j.join().unwrap(), 42);
+            }
+        });
+        assert_eq!(solves.load(Ordering::Relaxed), 1, "exactly one solve");
+        assert_eq!(sf.in_flight(), 0, "flight retired");
+    }
+
+    #[test]
+    fn abandoned_leader_promotes_a_follower() {
+        let sf = Arc::new(SingleFlight::<u64>::new());
+        let leader = match sf.join(key(2), None) {
+            Joined::Leader(g) => g,
+            _ => panic!("first joiner must lead"),
+        };
+        let sf2 = Arc::clone(&sf);
+        let follower = std::thread::spawn(move || {
+            match sf2.join(key(2), Some(Instant::now() + Duration::from_secs(10))) {
+                Joined::Leader(guard) => {
+                    // Promoted: compute and publish.
+                    guard.complete(7);
+                    "promoted"
+                }
+                Joined::Done(_) => "done",
+                Joined::TimedOut => "timeout",
+            }
+        });
+        // Let the follower block, then kill the leader without a value.
+        std::thread::sleep(Duration::from_millis(30));
+        drop(leader);
+        assert_eq!(follower.join().unwrap(), "promoted");
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn remaining_followers_drain_the_promoted_leader() {
+        let sf = Arc::new(SingleFlight::<u64>::new());
+        let leader = match sf.join(key(3), None) {
+            Joined::Leader(g) => g,
+            _ => panic!("first joiner must lead"),
+        };
+        std::thread::scope(|s| {
+            let mut followers = Vec::new();
+            for _ in 0..4 {
+                let sf = Arc::clone(&sf);
+                followers.push(s.spawn(move || {
+                    match sf.join(key(3), Some(Instant::now() + Duration::from_secs(10))) {
+                        Joined::Leader(guard) => {
+                            std::thread::sleep(Duration::from_millis(10));
+                            guard.complete(9);
+                            9
+                        }
+                        Joined::Done(v) => v,
+                        Joined::TimedOut => 0,
+                    }
+                }));
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            drop(leader);
+            for f in followers {
+                assert_eq!(f.join().unwrap(), 9);
+            }
+        });
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn follower_deadlines_are_respected() {
+        let sf = SingleFlight::<u64>::new();
+        let _leader = match sf.join(key(4), None) {
+            Joined::Leader(g) => g,
+            _ => panic!("first joiner must lead"),
+        };
+        let started = Instant::now();
+        match sf.join(key(4), Some(Instant::now() + Duration::from_millis(40))) {
+            Joined::TimedOut => {}
+            _ => panic!("follower must time out while the leader stalls"),
+        }
+        let waited = started.elapsed();
+        assert!(waited >= Duration::from_millis(35), "{waited:?}");
+        assert!(waited < Duration::from_secs(5), "{waited:?}");
+    }
+
+    #[test]
+    fn abandonment_without_waiters_retires_the_flight() {
+        let sf = SingleFlight::<u64>::new();
+        let leader = match sf.join(key(5), None) {
+            Joined::Leader(g) => g,
+            _ => panic!("lead"),
+        };
+        assert_eq!(sf.in_flight(), 1);
+        drop(leader);
+        assert_eq!(sf.in_flight(), 0);
+        // The key is reusable immediately.
+        assert!(matches!(sf.join(key(5), None), Joined::Leader(_)));
+    }
+}

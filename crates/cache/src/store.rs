@@ -1,0 +1,325 @@
+//! The sharded in-memory store: fingerprint → cached result, with
+//! byte-accounted LRU eviction per shard and a generation counter for
+//! whole-cache invalidation.
+//!
+//! Sharding keeps lock hold times short under concurrent lookups: the
+//! fingerprint's low bits pick one of N independently mutexed shards.
+//! Each shard tracks recency with a monotonic tick and a `BTreeMap`
+//! keyed by tick, so touch and evict are both `O(log n)` without any
+//! intrusive-list unsafe code.
+//!
+//! Soundness does not rest on the 128-bit fingerprint: every entry
+//! stores its full canonical bytes and a lookup compares them exactly,
+//! so a fingerprint collision degrades to a miss, never a wrong answer.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::canon::Fingerprint;
+use crate::{CacheValue, StatsDigest};
+
+/// Fixed shard count (a power of two; the fingerprint's low bits index
+/// into it).
+pub const NUM_SHARDS: usize = 16;
+
+/// Fixed per-entry bookkeeping charge on top of the payload bytes, so a
+/// flood of tiny entries still respects the budget.
+const ENTRY_OVERHEAD: usize = 96;
+
+struct Entry {
+    canon: Vec<u8>,
+    value: CacheValue,
+    bytes: usize,
+    tick: u64,
+    generation: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<Fingerprint, Entry>,
+    /// Recency index: tick → fingerprint. The smallest tick is the LRU
+    /// candidate. Ticks are unique within a shard.
+    recency: BTreeMap<u64, Fingerprint>,
+    next_tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, fp: Fingerprint) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            self.recency.remove(&entry.tick);
+            entry.tick = tick;
+            self.recency.insert(tick, fp);
+        }
+    }
+
+    fn remove(&mut self, fp: Fingerprint) -> Option<Entry> {
+        let entry = self.entries.remove(&fp)?;
+        self.recency.remove(&entry.tick);
+        self.bytes -= entry.bytes;
+        Some(entry)
+    }
+}
+
+/// Aggregated store statistics, as exposed by `metrics` and `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Lookups that found nothing (or a stale generation / colliding
+    /// fingerprint).
+    pub misses: u64,
+    /// Values inserted.
+    pub inserts: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: u64,
+    /// Accounted bytes of the live entries.
+    pub bytes: u64,
+}
+
+/// The sharded, byte-budgeted LRU map.
+pub struct Store {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (total budget / shard count).
+    shard_budget: usize,
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Store {
+    /// A store that holds at most `byte_budget` accounted bytes.
+    pub fn new(byte_budget: usize) -> Store {
+        Store {
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (byte_budget / NUM_SHARDS).max(1),
+            generation: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<Shard> {
+        &self.shards[(fp.0 as usize) & (NUM_SHARDS - 1)]
+    }
+
+    /// Accounted size of an entry with this payload.
+    pub fn entry_bytes(canon: &[u8], value: &CacheValue) -> usize {
+        ENTRY_OVERHEAD
+            + canon.len()
+            + value.int_model.len() * 12
+            + value.bool_model.len() * 5
+            + std::mem::size_of::<StatsDigest>()
+    }
+
+    /// Looks up `fp`, verifying the canonical bytes match exactly.
+    pub fn lookup(&self, fp: Fingerprint, canon: &[u8]) -> Option<CacheValue> {
+        let generation = self.generation.load(Ordering::Acquire);
+        let mut shard = self.shard(fp).lock().unwrap_or_else(|e| e.into_inner());
+        let stale = match shard.entries.get(&fp) {
+            Some(entry) if entry.generation == generation && entry.canon == canon => {
+                let value = entry.value.clone();
+                shard.touch(fp);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(value);
+            }
+            Some(entry) if entry.generation != generation => true,
+            _ => false,
+        };
+        if stale {
+            shard.remove(fp);
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts (or replaces) the entry for `fp`, evicting LRU entries
+    /// from the shard until the byte budget holds. Returns the number of
+    /// evictions this insert caused.
+    pub fn insert(&self, fp: Fingerprint, canon: &[u8], value: CacheValue) -> u64 {
+        let bytes = Store::entry_bytes(canon, &value);
+        let generation = self.generation.load(Ordering::Acquire);
+        let mut evicted = 0u64;
+        let mut shard = self.shard(fp).lock().unwrap_or_else(|e| e.into_inner());
+        shard.remove(fp);
+        // An entry larger than a whole shard can never fit; skip it
+        // rather than evicting everything for nothing.
+        if bytes > self.shard_budget {
+            return 0;
+        }
+        while shard.bytes + bytes > self.shard_budget {
+            let Some((&tick, &victim)) = shard.recency.iter().next() else {
+                break;
+            };
+            debug_assert!(shard.entries.contains_key(&victim), "tick {tick} dangling");
+            shard.remove(victim);
+            evicted += 1;
+        }
+        let tick = shard.next_tick;
+        shard.next_tick += 1;
+        shard.entries.insert(
+            fp,
+            Entry {
+                canon: canon.to_vec(),
+                value,
+                bytes,
+                tick,
+                generation,
+            },
+        );
+        shard.recency.insert(tick, fp);
+        shard.bytes += bytes;
+        drop(shard);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Drops every entry logically by bumping the generation counter;
+    /// stale entries are reclaimed lazily as lookups touch them.
+    pub fn invalidate_all(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Counters plus live-entry gauges.
+    pub fn stats(&self) -> StoreStats {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            entries += shard.entries.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Every live entry, for persistence compaction and `cache inspect`.
+    pub fn snapshot_entries(&self) -> Vec<(Fingerprint, Vec<u8>, CacheValue)> {
+        let generation = self.generation.load(Ordering::Acquire);
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (fp, entry) in &shard.entries {
+                if entry.generation == generation {
+                    out.push((*fp, entry.canon.clone(), entry.value.clone()));
+                }
+            }
+        }
+        out.sort_by_key(|(fp, _, _)| *fp);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CachedVerdict;
+
+    fn fp(n: u64) -> Fingerprint {
+        // Spread across shards via the low bits.
+        Fingerprint(n, n.wrapping_mul(31))
+    }
+
+    fn value() -> CacheValue {
+        CacheValue {
+            verdict: CachedVerdict::Valid,
+            int_model: Vec::new(),
+            bool_model: Vec::new(),
+            digest: StatsDigest::default(),
+        }
+    }
+
+    #[test]
+    fn lookup_requires_exact_canonical_bytes() {
+        let store = Store::new(1 << 20);
+        store.insert(fp(1), b"aaaa", value());
+        assert!(store.lookup(fp(1), b"aaaa").is_some());
+        // Same fingerprint, different canonical bytes: a collision is a
+        // miss, never a wrong answer.
+        assert!(store.lookup(fp(1), b"bbbb").is_none());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        // All keys in one shard (same low bits) so the budget math is
+        // deterministic.
+        let shard_key = |n: u64| Fingerprint(n << 4, n);
+        let payload = vec![0u8; 100];
+        let eb = Store::entry_bytes(&payload, &value());
+        let budget = eb * 4 * NUM_SHARDS;
+        let store = Store::new(budget);
+        for n in 0..4 {
+            let mut canon = payload.clone();
+            canon[0] = n as u8;
+            store.insert(shard_key(n), &canon, value());
+        }
+        assert_eq!(store.stats().entries, 4);
+        // Touch entry 0 so entry 1 becomes the LRU victim.
+        let mut canon0 = payload.clone();
+        canon0[0] = 0;
+        assert!(store.lookup(shard_key(0), &canon0).is_some());
+        let mut canon4 = payload.clone();
+        canon4[0] = 4;
+        let evicted = store.insert(shard_key(4), &canon4, value());
+        assert_eq!(evicted, 1);
+        let stats = store.stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.evictions, 1);
+        // Entry 1 was evicted; 0 survived its touch.
+        let mut canon1 = payload.clone();
+        canon1[0] = 1;
+        assert!(store.lookup(shard_key(1), &canon1).is_none());
+        assert!(store.lookup(shard_key(0), &canon0).is_some());
+        // The budget holds at all times.
+        assert!(stats.bytes <= budget as u64);
+    }
+
+    #[test]
+    fn oversized_entries_are_refused_without_mass_eviction() {
+        let store = Store::new(NUM_SHARDS * 256);
+        store.insert(fp(1), b"ok", value());
+        let huge = vec![0u8; 10_000];
+        let evicted = store.insert(fp(2), &huge, value());
+        assert_eq!(evicted, 0);
+        assert!(store.lookup(fp(2), &huge).is_none());
+        assert!(store.lookup(fp(1), b"ok").is_some());
+    }
+
+    #[test]
+    fn generation_bump_invalidates_everything() {
+        let store = Store::new(1 << 20);
+        store.insert(fp(7), b"x", value());
+        assert!(store.lookup(fp(7), b"x").is_some());
+        store.invalidate_all();
+        assert!(store.lookup(fp(7), b"x").is_none());
+        // Re-insert under the new generation works.
+        store.insert(fp(7), b"x", value());
+        assert!(store.lookup(fp(7), b"x").is_some());
+    }
+}

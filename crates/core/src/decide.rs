@@ -64,6 +64,12 @@ pub struct DecideOptions {
     /// RUP-replayable subset, and `Sat` models are extended over
     /// eliminated variables before decoding.
     pub preprocess: bool,
+    /// Optional result cache. When set, [`decide`] canonicalizes the
+    /// formula, consults the cache before running the pipeline and
+    /// stores definitive verdicts afterwards. Non-definitive outcomes
+    /// are never cached, and certifying runs (`certify`) bypass the
+    /// cache so every certificate attests to a real solve.
+    pub cache: Option<crate::CacheHandle>,
 }
 
 impl Default for DecideOptions {
@@ -78,6 +84,7 @@ impl Default for DecideOptions {
             progress: None,
             certify: false,
             preprocess: false,
+            cache: None,
         }
     }
 }
@@ -378,9 +385,35 @@ pub fn decide(tm: &mut TermManager, phi: TermId, options: &DecideOptions) -> Dec
         dag = dag_size,
         certify = options.certify,
     );
-    let decision = decide_inner(tm, phi, options, translate_start, dag_size);
+    let decision = decide_with_cache(tm, phi, options, translate_start, dag_size);
     if obs_span.is_recording() {
         trace_decision(&decision.outcome, &decision.stats);
+    }
+    decision
+}
+
+/// Consults the result cache (when one is attached and the run is not
+/// certifying) around [`decide_inner`].
+fn decide_with_cache(
+    tm: &mut TermManager,
+    phi: TermId,
+    options: &DecideOptions,
+    translate_start: Instant,
+    dag_size: usize,
+) -> Decision {
+    let handle = match &options.cache {
+        Some(handle) if !options.certify => handle,
+        _ => return decide_inner(tm, phi, options, translate_start, dag_size),
+    };
+    let canonical = sufsat_cache::canonicalize(tm, phi);
+    if let Some(value) = handle.cache().lookup(canonical.fingerprint, &canonical.bytes) {
+        return crate::cache::decision_from_value(&canonical, &value);
+    }
+    let decision = decide_inner(tm, phi, options, translate_start, dag_size);
+    if let Some(value) = crate::cache::value_from_decision(&canonical, &decision) {
+        handle
+            .cache()
+            .insert(canonical.fingerprint, &canonical.bytes, value);
     }
     decision
 }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod bmc;
+mod cache;
 mod certify;
 mod decide;
 mod portfolio;
@@ -41,6 +42,7 @@ mod threshold;
 pub use bmc::{
     check_bounded, check_bounded_with_stats, substitute_state, BmcResult, TransitionSystem,
 };
+pub use cache::CacheHandle;
 pub use certify::{
     counterexample_falsifies_original, counterexample_interpretation,
     interpretation_from_instances, Certificate,
@@ -56,3 +58,6 @@ pub use threshold::{select_threshold, ThresholdSample};
 // Re-exported so downstream users can configure runs without depending on
 // the encoder crate directly.
 pub use sufsat_encode::{CnfMode, EncodingMode};
+// Re-exported so cache-aware callers can rebuild counterexamples without
+// depending on the seplog crate directly.
+pub use sufsat_seplog::SepAssignment;

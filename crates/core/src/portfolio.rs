@@ -12,6 +12,7 @@
 //! [`decide_many`] amortizes the same idea over batch workloads with a
 //! bounded worker pool and deterministic result ordering.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
@@ -293,6 +294,13 @@ pub fn decide_portfolio(
 /// the results refer to fresh constants of those internal clones (original
 /// symbols of `tm` keep their identity in every clone).
 ///
+/// Duplicate formulas — identical after canonicalization, which covers
+/// α-renaming and commutative reordering as well as byte-identical
+/// repeats — are solved once: each group's representative runs through
+/// the portfolio and the result is fanned back out to the duplicates,
+/// with counterexample assignments remapped onto each duplicate's own
+/// symbols (restricted to the original formula's variables).
+///
 /// `jobs` is clamped to at least 1. With `jobs == 1` items run strictly
 /// sequentially (though each item still races its lanes).
 pub fn decide_many(
@@ -301,9 +309,34 @@ pub fn decide_many(
     options: &PortfolioOptions,
     jobs: usize,
 ) -> Vec<PortfolioDecision> {
-    let workers = jobs.max(1).min(formulas.len().max(1));
-    let batch_span =
-        sufsat_obs::span_with!("core.decide_many", items = formulas.len(), workers = workers);
+    // Group duplicates by canonical form; the first index of each group
+    // is its representative.
+    let mut canons = Vec::with_capacity(formulas.len());
+    let mut rep_of = Vec::with_capacity(formulas.len());
+    let mut first_by_canon: HashMap<sufsat_cache::Fingerprint, Vec<usize>> = HashMap::new();
+    for (i, &phi) in formulas.iter().enumerate() {
+        let canonical = sufsat_cache::canonicalize(tm, phi);
+        let bucket = first_by_canon.entry(canonical.fingerprint).or_default();
+        let rep = bucket
+            .iter()
+            .copied()
+            .find(|&j| canons[j] == canonical.bytes)
+            .unwrap_or(i);
+        if rep == i {
+            bucket.push(i);
+        }
+        rep_of.push(rep);
+        canons.push(canonical.bytes);
+    }
+    let reps: Vec<usize> = (0..formulas.len()).filter(|&i| rep_of[i] == i).collect();
+
+    let workers = jobs.max(1).min(reps.len().max(1));
+    let batch_span = sufsat_obs::span_with!(
+        "core.decide_many",
+        items = formulas.len(),
+        unique = reps.len(),
+        workers = workers
+    );
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<PortfolioDecision>> = formulas.iter().map(|_| None).collect();
     thread::scope(|scope| {
@@ -311,11 +344,12 @@ pub fn decide_many(
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let reps = &reps;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&phi) = formulas.get(i) else { break };
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = reps.get(k) else { break };
                 let mut item_tm = tm.clone();
-                let decision = decide_portfolio(&mut item_tm, phi, options);
+                let decision = decide_portfolio(&mut item_tm, formulas[i], options);
                 if tx.send((i, decision)).is_err() {
                     break;
                 }
@@ -326,6 +360,24 @@ pub fn decide_many(
             results[i] = Some(decision);
         }
     });
+
+    // Fan the representatives' results back out to their duplicates.
+    for i in 0..formulas.len() {
+        let rep = rep_of[i];
+        if rep == i {
+            continue;
+        }
+        let mut decision = results[rep].clone().expect("representative decided");
+        if formulas[i] != formulas[rep] {
+            // An α-variant: same canonical form, different symbols.
+            // Re-canonicalize both sides to build the index bijection.
+            let canon_rep = sufsat_cache::canonicalize(tm, formulas[rep]);
+            let canon_dup = sufsat_cache::canonicalize(tm, formulas[i]);
+            remap_portfolio_models(&mut decision, &canon_rep, &canon_dup);
+        }
+        results[i] = Some(decision);
+    }
+
     if batch_span.is_recording() {
         let decided = results
             .iter()
@@ -334,13 +386,56 @@ pub fn decide_many(
                     .is_some_and(|d| !matches!(d.outcome, Outcome::Unknown(_)))
             })
             .count();
-        sufsat_obs::event!("decide_many.done", items = formulas.len(), decided = decided);
+        sufsat_obs::event!(
+            "decide_many.done",
+            items = formulas.len(),
+            unique = reps.len(),
+            decided = decided
+        );
     }
     drop(batch_span);
     results
         .into_iter()
         .map(|r| r.expect("every item decided"))
         .collect()
+}
+
+/// Remaps every counterexample in `decision` from the representative's
+/// symbols onto the duplicate's, through their shared canonical index
+/// space. Symbols without a canonical index (fresh constants introduced
+/// by the representative's function elimination) are dropped — the
+/// remapped model is a best-effort witness over the duplicate's own
+/// variables; the verdict is the contract.
+fn remap_portfolio_models(
+    decision: &mut PortfolioDecision,
+    canon_rep: &sufsat_cache::Canonical,
+    canon_dup: &sufsat_cache::Canonical,
+) {
+    let remap = |outcome: &mut Outcome| {
+        let Outcome::Invalid(cex) = outcome else {
+            return;
+        };
+        let mut remapped = sufsat_seplog::SepAssignment::default();
+        for (&var, &val) in &cex.ints {
+            if let Some(idx) = canon_rep.int_var_index(var) {
+                if let Some(&dup_var) = canon_dup.int_vars.get(idx as usize) {
+                    remapped.ints.insert(dup_var, val);
+                }
+            }
+        }
+        for (&var, &val) in &cex.bools {
+            if let Some(idx) = canon_rep.bool_var_index(var) {
+                if let Some(&dup_var) = canon_dup.bool_vars.get(idx as usize) {
+                    remapped.bools.insert(dup_var, val);
+                }
+            }
+        }
+        *cex = remapped;
+    };
+    remap(&mut decision.outcome);
+    for lane in &mut decision.lanes {
+        remap(&mut lane.outcome);
+    }
 }
 
 #[cfg(test)]
@@ -468,6 +563,70 @@ mod tests {
                 ));
             }
         }
+    }
+
+    #[test]
+    fn decide_many_solves_each_unique_formula_once() {
+        let mut tm = TermManager::new();
+        let phi = invalid_uf(&mut tm);
+        // An α-renamed spelling: same canonical form, different TermId.
+        let g = tm.declare_fun("g", 1);
+        let a = tm.int_var("a");
+        let b = tm.int_var("b");
+        let ga = tm.mk_app(g, vec![a]);
+        let gb = tm.mk_app(g, vec![b]);
+        let hyp = tm.mk_eq(ga, gb);
+        let conc = tm.mk_eq(a, b);
+        let psi = tm.mk_implies(hyp, conc);
+        assert_ne!(phi, psi);
+
+        let formulas = [phi, phi, psi, phi];
+        let results = decide_many(&tm, &formulas, &PortfolioOptions::default(), 2);
+        assert_eq!(results.len(), 4);
+        for d in &results {
+            assert!(matches!(d.outcome, Outcome::Invalid(_)));
+        }
+        // Byte-identical duplicates carry the representative's exact
+        // measurements — down to the Duration fields, which two
+        // independent solves would never reproduce.
+        assert_eq!(results[0].stats.sat_time, results[1].stats.sat_time);
+        assert_eq!(results[0].stats.translate_time, results[3].stats.translate_time);
+        assert_eq!(results[0].wall_time, results[1].wall_time);
+        assert_eq!(results[2].stats.sat_time, results[0].stats.sat_time);
+        // The α-variant's counterexample was remapped onto its own
+        // symbols: it talks about a/b, never about x/y.
+        let Outcome::Invalid(cex) = &results[2].outcome else {
+            unreachable!()
+        };
+        let x = tm.find_int_var("x").unwrap();
+        let y = tm.find_int_var("y").unwrap();
+        assert!(!cex.ints.contains_key(&x) && !cex.ints.contains_key(&y));
+        let a_sym = tm.find_int_var("a").unwrap();
+        let b_sym = tm.find_int_var("b").unwrap();
+        assert!(cex.ints.keys().all(|v| *v == a_sym || *v == b_sym));
+    }
+
+    #[test]
+    fn decide_many_remapped_model_falsifies_the_duplicate() {
+        // UF-free invalid formulas: the counterexample is total over the
+        // original variables, so the remapped model must falsify the
+        // α-variant outright.
+        let mut tm = TermManager::new();
+        let x = tm.int_var("x");
+        let y = tm.int_var("y");
+        let phi = tm.mk_lt(x, y); // invalid as a validity claim
+        let a = tm.int_var("a");
+        let b = tm.int_var("b");
+        let psi = tm.mk_lt(a, b);
+        assert_ne!(phi, psi);
+
+        let results = decide_many(&tm, &[phi, psi], &PortfolioOptions::default(), 2);
+        let Outcome::Invalid(cex) = &results[1].outcome else {
+            panic!("x < y is falsifiable");
+        };
+        let mut check_tm = tm.clone();
+        let elim = sufsat_suf::eliminate(&mut check_tm, psi);
+        assert!(!cex.evaluate(&check_tm, elim.formula));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use sufsat_fuzz::{
-    default_procedures, read_reproducer, run_campaign, run_oracle, CampaignConfig, OracleOptions,
+    default_procedures, read_reproducer, run_oracle, CampaignConfig, OracleOptions,
 };
 use sufsat_suf::TermManager;
 
@@ -47,6 +47,9 @@ OPTIONS:
     --no-portfolio      drop the portfolio engine from the panel
     --no-certify        skip model replay and DRAT/RUP proof checking
     --no-shrink         report failures without minimizing them
+    --only <NAMES>      keep only the named procedures on the panel
+                        (comma-separated, e.g. `--only cached` or
+                        `--only eager:sd,cached`)
     --list-procedures   print the panel for these options and exit
     --quiet             no progress output
     -h, --help          this text
@@ -59,6 +62,7 @@ struct Cli {
     replay_hex: Vec<PathBuf>,
     print_case: Option<usize>,
     list_procedures: bool,
+    only: Option<Vec<String>>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -73,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut replay_hex = Vec::new();
     let mut print_case = None;
     let mut list_procedures = false;
+    let mut only = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<&String, String> {
@@ -105,6 +110,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--no-portfolio" => config.oracle.include_portfolio = false,
             "--no-certify" => config.oracle.certify = false,
             "--no-shrink" => config.shrink = false,
+            "--only" => {
+                only = Some(
+                    value("--only")?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect::<Vec<_>>(),
+                );
+            }
             "--list-procedures" => list_procedures = true,
             "--quiet" => config.log_every = 0,
             "-h" | "--help" => return Err(String::new()),
@@ -118,15 +132,36 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         replay_hex,
         print_case,
         list_procedures,
+        only,
     })
+}
+
+/// Builds the panel for `oracle` and applies the `--only` filter.
+fn build_panel(
+    oracle: &OracleOptions,
+    only: Option<&[String]>,
+) -> Result<Vec<sufsat_fuzz::Procedure>, String> {
+    let mut procs = default_procedures(oracle);
+    if let Some(names) = only {
+        for name in names {
+            if !procs.iter().any(|p| &p.name == name) {
+                let panel: Vec<&str> = procs.iter().map(|p| p.name.as_str()).collect();
+                return Err(format!(
+                    "--only: no procedure named `{name}` (panel: {})",
+                    panel.join(", ")
+                ));
+            }
+        }
+        procs.retain(|p| names.iter().any(|n| n == &p.name));
+    }
+    Ok(procs)
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("not a number: {s}"))
 }
 
-fn replay_files(files: &[PathBuf], oracle: &OracleOptions) -> ExitCode {
-    let procs = default_procedures(oracle);
+fn replay_files(files: &[PathBuf], procs: &[sufsat_fuzz::Procedure]) -> ExitCode {
     let mut failed = false;
     for path in files {
         let mut tm = TermManager::new();
@@ -137,7 +172,7 @@ fn replay_files(files: &[PathBuf], oracle: &OracleOptions) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match run_oracle(&tm, phi, &procs) {
+        match run_oracle(&tm, phi, procs) {
             Ok(report) => {
                 let verdict = report
                     .consensus
@@ -183,8 +218,16 @@ fn run() -> ExitCode {
         }
     };
 
+    let procs = match build_panel(&cli.config.oracle, cli.only.as_deref()) {
+        Ok(procs) => procs,
+        Err(msg) => {
+            eprintln!("sufsat-fuzz: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
     if cli.list_procedures {
-        for p in default_procedures(&cli.config.oracle) {
+        for p in &procs {
             println!("{}", p.name);
         }
         return ExitCode::SUCCESS;
@@ -216,7 +259,7 @@ fn run() -> ExitCode {
     }
 
     if !cli.replay.is_empty() {
-        return replay_files(&cli.replay, &cli.config.oracle);
+        return replay_files(&cli.replay, &procs);
     }
 
     if cli.target == "serve" {
@@ -243,7 +286,7 @@ fn run() -> ExitCode {
         return if summary.clean() { ExitCode::SUCCESS } else { ExitCode::from(1) };
     }
 
-    let summary = run_campaign(&cli.config);
+    let summary = sufsat_fuzz::run_campaign_with(&cli.config, &procs);
     println!(
         "sufsat-fuzz: {} cases ({} definitive), {} definitive answers, {} certified, \
          {} metamorphic checks, {} failures",

@@ -187,9 +187,9 @@ pub struct CampaignSummary {
     pub certified_answers: usize,
     /// Definitive answers *without* a certificate, tallied per procedure
     /// name. On a panel without baselines, only the deliberately
-    /// uncertified `eager:preprocess` lens may appear here — a regression
-    /// that silently drops certification from any other procedure shows up
-    /// as a new key.
+    /// uncertified `eager:preprocess` and `cached` lenses may appear here —
+    /// a regression that silently drops certification from any other
+    /// procedure shows up as a new key.
     pub uncertified_by_procedure: BTreeMap<String, usize>,
     /// Metamorphic relation checks performed.
     pub meta_checks: usize,
@@ -411,9 +411,10 @@ mod tests {
         assert_eq!(summary.cases_run, 8);
         assert!(summary.definitive_cases >= 6, "{summary:?}");
         // Every definitive answer carries a checked certificate except the
-        // `eager:preprocess` lens, which deliberately runs uncertified so
-        // that bounded variable elimination is actually exercised. Any
-        // other procedure showing up uncertified is a regression.
+        // `eager:preprocess` lens (deliberately uncertified so bounded
+        // variable elimination is actually exercised) and the `cached`
+        // lens (certification bypasses the cache by design). Any other
+        // procedure showing up uncertified is a regression.
         assert!(summary.certified_answers > 0);
         let uncertified: usize = summary.uncertified_by_procedure.values().sum();
         assert_eq!(
@@ -425,8 +426,8 @@ mod tests {
             summary
                 .uncertified_by_procedure
                 .keys()
-                .all(|name| name == "eager:preprocess"),
-            "only the preprocessing lens may answer uncertified: {summary:?}"
+                .all(|name| name == "eager:preprocess" || name == "cached"),
+            "only the preprocess and cached lenses may answer uncertified: {summary:?}"
         );
     }
 

@@ -17,7 +17,8 @@ use std::time::Duration;
 
 use sufsat_baselines::{decide_lazy, decide_svc, LazyOptions, SvcOptions};
 use sufsat_core::{
-    decide, decide_portfolio, DecideOptions, EncodingMode, Outcome, PortfolioOptions,
+    decide, decide_portfolio, CacheHandle, DecideOptions, EncodingMode, Outcome,
+    PortfolioOptions,
 };
 use sufsat_incremental::{conjuncts_of, Session};
 use sufsat_suf::{TermId, TermManager};
@@ -175,6 +176,54 @@ pub fn default_procedures(options: &OracleOptions) -> Vec<Procedure> {
                 let decision = decide(&mut tm, phi, &opts);
                 Ok(ProcedureAnswer {
                     verdict: Verdict::from(&decision.outcome),
+                    certified: false,
+                })
+            }),
+        });
+    }
+
+    {
+        // Twelfth lens: the result cache. One cache is shared across the
+        // panel's whole lifetime — a campaign reuses the panel, so
+        // α-equivalent cases collide across iterations, exercising the
+        // canonicalizer on unrelated-looking formulas. Each formula is
+        // decided cold (populating or hitting the shared cache), warm
+        // (a guaranteed hit when cold was definitive) and fresh (a
+        // cache-free reference); any definitive-verdict mismatch among
+        // the three is a hard oracle failure, not a mere disagreement.
+        let cached_opts = DecideOptions {
+            trans_budget: options.trans_budget,
+            timeout: Some(options.timeout),
+            certify: false,
+            cache: Some(CacheHandle::with_budget(16 << 20)),
+            ..DecideOptions::default()
+        };
+        let fresh_opts = DecideOptions {
+            trans_budget: options.trans_budget,
+            timeout: Some(options.timeout),
+            certify: false,
+            ..DecideOptions::default()
+        };
+        procs.push(Procedure {
+            name: "cached".to_string(),
+            run: Box::new(move |tm, phi| {
+                let cold = decide(&mut tm.clone(), phi, &cached_opts);
+                let warm = decide(&mut tm.clone(), phi, &cached_opts);
+                let fresh = decide(&mut tm.clone(), phi, &fresh_opts);
+                let cold_v = Verdict::from(&cold.outcome);
+                let warm_v = Verdict::from(&warm.outcome);
+                let fresh_v = Verdict::from(&fresh.outcome);
+                let definitive: Vec<Verdict> = [cold_v, warm_v, fresh_v]
+                    .into_iter()
+                    .filter(|v| *v != Verdict::Unknown)
+                    .collect();
+                if definitive.windows(2).any(|w| w[0] != w[1]) {
+                    return Err(format!(
+                        "cache verdict mismatch: cold={cold_v} warm={warm_v} fresh={fresh_v}"
+                    ));
+                }
+                Ok(ProcedureAnswer {
+                    verdict: definitive.first().copied().unwrap_or(Verdict::Unknown),
                     certified: false,
                 })
             }),
@@ -488,10 +537,14 @@ mod tests {
     fn panel_agrees_on_simple_formulas() {
         let options = OracleOptions::default();
         let procs = default_procedures(&options);
-        assert_eq!(procs.len(), 11);
+        assert_eq!(procs.len(), 12);
         assert!(
             procs.iter().any(|p| p.name == "eager:preprocess"),
             "the preprocessing lens must be on the panel"
+        );
+        assert!(
+            procs.iter().any(|p| p.name == "cached"),
+            "the result-cache lens must be on the panel"
         );
         let cases = [
             ("(vars x y) (funs (f 1)) (formula (=> (= x y) (= (f x) (f y))))", Verdict::Valid),

@@ -24,9 +24,19 @@
 //!     --metrics-addr A   in-process server Prometheus listener address
 //!                        (e.g. 127.0.0.1:9099); scrape GET /metrics
 //!                        while the bench runs
+//!     --zipf S           duplicate-heavy mode: draw workload files from
+//!                        a Zipf(S) distribution instead of round-robin,
+//!                        split latencies into cold (cache miss) and warm
+//!                        (hit/coalesced) by the reply's `cache` field,
+//!                        and hard-fail on any verdict flip for a file.
+//!                        The report switches to `sufsat-cache-bench-v1`.
+//!     --seed N           per-client PRNG seed base for --zipf (default 0)
+//!     --check            with --zipf: exit 1 unless hit rate >= 0.5 and
+//!                        warm p50 is at least 10x below cold p50
 //! ```
 //!
-//! Exit code: 0 on success, 2 on usage/setup errors.
+//! Exit code: 0 on success, 1 on a failed --check or a verdict flip,
+//! 2 on usage/setup errors.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -51,6 +61,9 @@ struct Config {
     out: PathBuf,
     trace: Option<String>,
     metrics_addr: Option<String>,
+    zipf: Option<f64>,
+    seed: u64,
+    check: bool,
 }
 
 impl Default for Config {
@@ -68,6 +81,9 @@ impl Default for Config {
             out: PathBuf::from("BENCH_serve.json"),
             trace: None,
             metrics_addr: None,
+            zipf: None,
+            seed: 0,
+            check: false,
         }
     }
 }
@@ -98,11 +114,21 @@ fn parse_args() -> Config {
             "--out" => config.out = PathBuf::from(value("--out")),
             "--trace" => config.trace = Some(value("--trace")),
             "--metrics-addr" => config.metrics_addr = Some(value("--metrics-addr")),
+            "--zipf" => {
+                let s: f64 = value("--zipf").parse().unwrap_or_else(|_| die("bad --zipf"));
+                if !(s.is_finite() && s >= 0.0) {
+                    die("bad --zipf: exponent must be finite and non-negative");
+                }
+                config.zipf = Some(s);
+            }
+            "--seed" => config.seed = value("--seed").parse().unwrap_or_else(|_| die("bad --seed")),
+            "--check" => config.check = true,
             "--help" | "-h" => {
                 println!("usage: serve-bench [--addr HOST:PORT] [--workers N] [--queue-cap N]");
                 println!("                   [--clients N] [--requests N] [--duration SECS]");
                 println!("                   [--timeout-ms N] [--dir PATH] [--max-bytes N]");
                 println!("                   [--out PATH] [--trace PATH|stderr] [--metrics-addr HOST:PORT]");
+                println!("                   [--zipf S] [--seed N] [--check]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown option `{other}`")),
@@ -119,6 +145,34 @@ struct ClientTally {
     unknown: u64,
     overloaded: u64,
     errors: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_coalesced: u64,
+}
+
+/// Zipf(s) sampler over ranks `0..n`: rank `r` has weight
+/// `1/(r+1)^s`, drawn by binary search on the cumulative table.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut sufsat_prng::Prng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty workload");
+        // 53 uniform mantissa bits are plenty for a workload-sized table.
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
 }
 
 fn main() {
@@ -197,6 +251,19 @@ fn main() {
     // per-request Vec push nor a final O(n log n) sort.
     let latency_hist = Arc::new(HistogramBins::new());
     let queue_wait_hist = Arc::new(HistogramBins::new());
+    // Duplicate-heavy mode: cold (miss) and warm (hit/coalesced)
+    // latencies land in separate histograms, and the first definitive
+    // verdict per workload file is pinned — a later flip is a bug in the
+    // cache, not noise, and fails the whole run.
+    let cold_hist = Arc::new(HistogramBins::new());
+    let warm_hist = Arc::new(HistogramBins::new());
+    let first_verdicts = Arc::new(std::sync::Mutex::new(
+        std::collections::HashMap::<usize, String>::new(),
+    ));
+    let verdict_flip = Arc::new(std::sync::Mutex::new(None::<String>));
+    let zipf = config
+        .zipf
+        .map(|s| Arc::new(Zipf::new(files.len(), s)));
     let started = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|s| {
         let mut joins = Vec::new();
@@ -205,16 +272,23 @@ fn main() {
             let stop = Arc::clone(&stop);
             let latency_hist = Arc::clone(&latency_hist);
             let queue_wait_hist = Arc::clone(&queue_wait_hist);
+            let cold_hist = Arc::clone(&cold_hist);
+            let warm_hist = Arc::clone(&warm_hist);
+            let first_verdicts = Arc::clone(&first_verdicts);
+            let verdict_flip = Arc::clone(&verdict_flip);
+            let zipf = zipf.clone();
             let addr = addr.clone();
             let requests = config.requests;
             let duration = config.duration;
             let timeout_ms = config.timeout_ms;
+            let seed = config.seed;
             joins.push(s.spawn(move || {
                 let mut tally = ClientTally::default();
                 let mut client = match Client::connect(&*addr) {
                     Ok(c) => c,
                     Err(_) => return tally,
                 };
+                let mut rng = sufsat_prng::Prng::seed_from_u64(seed + client_idx as u64);
                 let deadline = Instant::now() + duration;
                 let mut sent = 0usize;
                 // Stagger clients across the workload.
@@ -228,8 +302,15 @@ fn main() {
                         None if Instant::now() >= deadline => break,
                         _ => {}
                     }
-                    let (_, problem) = &files[next_file];
-                    next_file = (next_file + 1) % files.len();
+                    let file_idx = match &zipf {
+                        Some(z) => z.sample(&mut rng),
+                        None => {
+                            let idx = next_file;
+                            next_file = (next_file + 1) % files.len();
+                            idx
+                        }
+                    };
+                    let (name, problem) = &files[file_idx];
                     let t0 = Instant::now();
                     let reply = client.decide(problem, Some(Duration::from_millis(timeout_ms)));
                     let lat = t0.elapsed().as_micros() as u64;
@@ -242,10 +323,40 @@ fn main() {
                                 if let Some(q) = reply.get("queue_us").and_then(Json::as_u64) {
                                     queue_wait_hist.record(q);
                                 }
-                                match reply_verdict(&reply) {
+                                let verdict = reply_verdict(&reply);
+                                match verdict {
                                     "valid" => tally.valid += 1,
                                     "invalid" => tally.invalid += 1,
                                     _ => tally.unknown += 1,
+                                }
+                                match reply.get("cache").and_then(Json::as_str) {
+                                    Some("hit") => {
+                                        tally.cache_hits += 1;
+                                        warm_hist.record(lat);
+                                    }
+                                    Some("coalesced") => {
+                                        tally.cache_coalesced += 1;
+                                        warm_hist.record(lat);
+                                    }
+                                    _ => {
+                                        tally.cache_misses += 1;
+                                        cold_hist.record(lat);
+                                    }
+                                }
+                                if verdict == "valid" || verdict == "invalid" {
+                                    let mut seen =
+                                        first_verdicts.lock().unwrap_or_else(|e| e.into_inner());
+                                    let prior = seen
+                                        .entry(file_idx)
+                                        .or_insert_with(|| verdict.to_owned());
+                                    if prior != verdict {
+                                        *verdict_flip
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner()) = Some(format!(
+                                            "{name}: verdict flipped from {prior} to {verdict}"
+                                        ));
+                                        stop.store(true, Ordering::Relaxed);
+                                    }
                                 }
                             }
                             "overloaded" => tally.overloaded += 1,
@@ -271,6 +382,9 @@ fn main() {
     let mut unknown = 0u64;
     let mut overloaded = 0u64;
     let mut errors = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut cache_coalesced = 0u64;
     for t in &tallies {
         ok += t.ok;
         valid += t.valid;
@@ -278,6 +392,14 @@ fn main() {
         unknown += t.unknown;
         overloaded += t.overloaded;
         errors += t.errors;
+        cache_hits += t.cache_hits;
+        cache_misses += t.cache_misses;
+        cache_coalesced += t.cache_coalesced;
+    }
+
+    if let Some(detail) = verdict_flip.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        eprintln!("serve-bench: FAIL — cached verdict not equivalent to first solve: {detail}");
+        std::process::exit(1);
     }
     let latency = latency_hist.snapshot();
     let queue_wait = queue_wait_hist.snapshot();
@@ -301,11 +423,16 @@ fn main() {
         .and_then(|reply| reply.get("counters").map(render_json));
     let report = handle.map(|h| h.shutdown());
 
+    let schema = if config.zipf.is_some() {
+        "sufsat-cache-bench-v1"
+    } else {
+        "sufsat-serve-bench-v2"
+    };
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"sufsat-serve-bench-v2\",\n");
+    out.push_str(&format!("  \"schema\": \"{schema}\",\n"));
     out.push_str(&format!(
-        "  \"config\": {{\"clients\": {}, \"workers\": {}, \"queue_cap\": {}, \"timeout_ms\": {}, \"duration_s\": {:.3}, \"workload_files\": {}, \"external_addr\": {}}},\n",
+        "  \"config\": {{\"clients\": {}, \"workers\": {}, \"queue_cap\": {}, \"timeout_ms\": {}, \"duration_s\": {:.3}, \"workload_files\": {}, \"external_addr\": {}, \"zipf\": {}, \"seed\": {}}},\n",
         config.clients,
         config.workers,
         config.queue_cap,
@@ -313,6 +440,8 @@ fn main() {
         config.duration.as_secs_f64(),
         files.len(),
         config.addr.is_some(),
+        config.zipf.map_or("null".to_owned(), |s| format!("{s}")),
+        config.seed,
     ));
     out.push_str(&format!(
         "  \"totals\": {{\"requests\": {total}, \"ok\": {ok}, \"valid\": {valid}, \"invalid\": {invalid}, \"unknown\": {unknown}, \"overloaded\": {overloaded}, \"errors\": {errors}}},\n"
@@ -335,6 +464,43 @@ fn main() {
         queue_wait.max(),
         queue_wait.mean(),
     ));
+    let cold = cold_hist.snapshot();
+    let warm = warm_hist.snapshot();
+    let warm_total = cache_hits + cache_coalesced;
+    let hit_rate = if ok > 0 { warm_total as f64 / ok as f64 } else { 0.0 };
+    if config.zipf.is_some() {
+        out.push_str(&format!(
+            "  \"cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}, \"coalesced\": {cache_coalesced}, \"hit_rate\": {hit_rate:.4}}},\n"
+        ));
+        out.push_str(&format!(
+            "  \"cold_latency_us\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}},\n",
+            cold.count(),
+            cold.quantile(0.50),
+            cold.quantile(0.95),
+            cold.quantile(0.99),
+            cold.max(),
+            cold.mean(),
+        ));
+        out.push_str(&format!(
+            "  \"warm_latency_us\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}},\n",
+            warm.count(),
+            warm.quantile(0.50),
+            warm.quantile(0.95),
+            warm.quantile(0.99),
+            warm.max(),
+            warm.mean(),
+        ));
+        out.push_str(&format!(
+            "  \"regenerate\": \"cargo run --release -p sufsat-serve --bin serve-bench -- --zipf {} --seed {} --clients {} --workers {} --duration {} --dir {} --out {}\",\n",
+            config.zipf.unwrap(),
+            config.seed,
+            config.clients,
+            config.workers,
+            config.duration.as_secs_f64(),
+            config.dir.display(),
+            config.out.display(),
+        ));
+    }
     out.push_str(&format!(
         "  \"throughput_rps\": {throughput:.2},\n  \"overload_rate\": {overload_rate:.4},\n  \"wall_s\": {:.3}",
         wall.as_secs_f64()
@@ -365,6 +531,34 @@ fn main() {
         errors,
         config.out.display(),
     );
+    if config.zipf.is_some() {
+        eprintln!(
+            "serve-bench: cache hit rate {:.1}% ({cache_hits} hits, {cache_coalesced} coalesced, {cache_misses} misses) | cold p50 {} us, warm p50 {} us",
+            hit_rate * 100.0,
+            cold.quantile(0.50),
+            warm.quantile(0.50),
+        );
+        if config.check {
+            let mut bad = Vec::new();
+            if hit_rate < 0.5 {
+                bad.push(format!("hit rate {hit_rate:.4} < 0.5"));
+            }
+            if warm.quantile(0.50).saturating_mul(10) > cold.quantile(0.50) {
+                bad.push(format!(
+                    "warm p50 {} us not >=10x below cold p50 {} us",
+                    warm.quantile(0.50),
+                    cold.quantile(0.50),
+                ));
+            }
+            if !bad.is_empty() {
+                eprintln!("serve-bench: FAIL --check: {}", bad.join("; "));
+                sufsat_obs::emit_counter_records();
+                sufsat_obs::shutdown();
+                std::process::exit(1);
+            }
+            eprintln!("serve-bench: --check passed");
+        }
+    }
     sufsat_obs::emit_counter_records();
     sufsat_obs::shutdown();
 }

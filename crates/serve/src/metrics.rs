@@ -72,9 +72,28 @@ fn counters_json(shared: &Shared) -> String {
     )
 }
 
+/// The result-cache block of the `metrics` reply: store counters,
+/// coalesced waits and the hit-latency distribution.
+fn cache_json(shared: &Shared) -> String {
+    let s = shared.cache_stats();
+    format!(
+        "{{\"enabled\":{},\"hits\":{},\"misses\":{},\"coalesced\":{},\"inserts\":{},\
+         \"evictions\":{},\"entries\":{},\"bytes\":{},\"hit_latency_us\":{}}}",
+        shared.cache_enabled(),
+        s.hits,
+        s.misses,
+        shared.cache_coalesced_now(),
+        s.inserts,
+        s.evictions,
+        s.entries,
+        s.bytes,
+        quantile_json(&shared.cache_hit_latency_snapshot()),
+    )
+}
+
 /// The `metrics` op: latency and queue-wait distributions (since start
-/// and over the rolling window), counters, gauges and per-worker solver
-/// progress, all in one reply.
+/// and over the rolling window), counters, gauges, result-cache state
+/// and per-worker solver progress, all in one reply.
 pub(crate) fn metrics_reply(shared: &Arc<Shared>, id: Option<u64>) -> Vec<u8> {
     let workers: Vec<String> = shared
         .worker_info()
@@ -92,6 +111,7 @@ pub(crate) fn metrics_reply(shared: &Arc<Shared>, id: Option<u64>) -> Vec<u8> {
         .i64_field("open_sessions", shared.open_sessions_now())
         .i64_field("connections", shared.connections_now())
         .raw_field("counters", &counters_json(shared))
+        .raw_field("cache", &cache_json(shared))
         .raw_field("workers", &format!("[{}]", workers.join(",")))
         .finish()
 }
@@ -191,8 +211,21 @@ pub(crate) fn render_prometheus(shared: &Shared) -> String {
         shared.uptime_us() / 1_000_000
     ));
 
+    // Result-cache families are rendered unconditionally (all zeros with
+    // the cache disabled) so scrapers can rely on their presence.
+    let cache = shared.cache_stats();
+    push_counter(&mut out, "sufsat_cache_hits_total", cache.hits);
+    push_counter(&mut out, "sufsat_cache_misses_total", cache.misses);
+    push_counter(&mut out, "sufsat_cache_coalesced_total", shared.cache_coalesced_now());
+    push_counter(&mut out, "sufsat_cache_inserts_total", cache.inserts);
+    push_counter(&mut out, "sufsat_cache_evictions_total", cache.evictions);
+    push_gauge(&mut out, "sufsat_cache_enabled", i64::from(shared.cache_enabled()));
+    push_gauge(&mut out, "sufsat_cache_entries", cache.entries as i64);
+    push_gauge(&mut out, "sufsat_cache_bytes", cache.bytes as i64);
+
     push_histogram(&mut out, "sufsat_request_latency_us", &shared.latency_snapshot());
     push_histogram(&mut out, "sufsat_queue_wait_us", &shared.queue_wait_snapshot());
+    push_histogram(&mut out, "sufsat_cache_hit_latency_us", &shared.cache_hit_latency_snapshot());
 
     // Per-worker solver progress, one labeled sample per worker. These
     // are gauges (not counters): they reset with every job.

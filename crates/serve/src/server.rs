@@ -50,8 +50,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use sufsat_cache::{
+    canonicalize, CacheValue, CachedVerdict, Joined, ResultCache, StatsDigest, StoreStats,
+};
 use sufsat_core::{
-    decide, decide_portfolio, DecideOptions, Outcome, PortfolioOptions, StopReason,
+    decide, decide_portfolio, DecideOptions, DecideStats, Outcome, PortfolioOptions,
+    SepAssignment, StopReason,
 };
 use sufsat_incremental::Session;
 use sufsat_obs::{HistogramBins, RollingWindow};
@@ -88,7 +92,18 @@ pub struct ServeOptions {
     /// disables it; metrics stay reachable through the protocol's
     /// `metrics` op either way.
     pub metrics_addr: Option<String>,
+    /// Byte budget of the canonicalizing result cache consulted by plain
+    /// `decide` requests. `0` disables caching (and single-flight dedup)
+    /// entirely.
+    pub cache_bytes: usize,
+    /// Optional path of the cache's append-only persistent log. Loaded
+    /// (torn tail tolerated) at startup so a restarted daemon answers
+    /// previously-seen queries warm; ignored when `cache_bytes == 0`.
+    pub cache_path: Option<std::path::PathBuf>,
 }
+
+/// Default byte budget of the serve-side result cache (64 MiB).
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
 
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
@@ -102,6 +117,8 @@ impl Default for ServeOptions {
             default_deadline: None,
             session_limit: 64,
             metrics_addr: None,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            cache_path: None,
         }
     }
 }
@@ -217,6 +234,15 @@ pub(crate) struct Shared {
     workers_alive: AtomicI64,
     /// The [`SLOW_LOG_CAP`] worst requests by latency.
     slow_log: Mutex<Vec<SlowEntry>>,
+    /// Canonicalizing result cache for plain `decide` requests; `None`
+    /// when `cache_bytes == 0`.
+    cache: Option<Arc<ResultCache>>,
+    /// Requests answered from another request's in-flight computation
+    /// (single-flight followers). Counted as hits in the hit rate.
+    c_cache_coalesced: AtomicU64,
+    /// Execution latency of store hits only (admission wait excluded) —
+    /// the warm-path number the cache bench gates on.
+    cache_hit_latency: HistogramBins,
 }
 
 impl Shared {
@@ -321,6 +347,30 @@ impl Shared {
 
     pub(crate) fn window_snapshot(&self) -> sufsat_obs::HistogramSnapshot {
         self.latency_window.snapshot()
+    }
+
+    /// Whether the result cache is enabled.
+    pub(crate) fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The result cache's store counters (all-zero when disabled, so the
+    /// `/metrics` families render unconditionally).
+    pub(crate) fn cache_stats(&self) -> StoreStats {
+        self.cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
+    /// Requests answered by coalescing onto another request's solve.
+    pub(crate) fn cache_coalesced_now(&self) -> u64 {
+        self.c_cache_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Execution-latency snapshot of cache hits.
+    pub(crate) fn cache_hit_latency_snapshot(&self) -> sufsat_obs::HistogramSnapshot {
+        self.cache_hit_latency.snapshot()
     }
 
     /// Per-worker `(state, progress)` pairs, indexed by worker number.
@@ -513,6 +563,19 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let workers = opts.workers.max(1);
+        let cache = if opts.cache_bytes == 0 {
+            None
+        } else if let Some(path) = &opts.cache_path {
+            let (cache, report) = ResultCache::with_persistence(opts.cache_bytes, path)?;
+            sufsat_obs::event!(
+                "serve.cache_loaded",
+                records = report.unique as u64,
+                truncated_bytes = report.truncated_bytes,
+            );
+            Some(Arc::new(cache))
+        } else {
+            Some(Arc::new(ResultCache::new(opts.cache_bytes)))
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::new(opts.queue_cap),
             opts,
@@ -543,6 +606,9 @@ impl Server {
             worker_progress: (0..workers).map(|_| ProgressHandle::new()).collect(),
             workers_alive: AtomicI64::new(0),
             slow_log: Mutex::new(Vec::new()),
+            cache,
+            c_cache_coalesced: AtomicU64::new(0),
+            cache_hit_latency: HistogramBins::new(),
         });
         let metrics = match shared.opts.metrics_addr.clone() {
             Some(addr) => Some(spawn_metrics_listener(Arc::clone(&shared), &addr)?),
@@ -1287,6 +1353,7 @@ fn verdict_reply(
     time_us: u64,
     extra: &[(&str, u64)],
     winner: Option<&str>,
+    cache_status: Option<&str>,
 ) -> Vec<u8> {
     let (verdict, reason) = outcome_verdict(outcome);
     let mut b = ReplyBuilder::new(id, "ok").str_field("verdict", verdict);
@@ -1295,6 +1362,9 @@ fn verdict_reply(
     }
     if let Some(winner) = winner {
         b = b.str_field("winner", winner);
+    }
+    if let Some(cache_status) = cache_status {
+        b = b.str_field("cache", cache_status);
     }
     b = b.u64_field("time_us", time_us);
     for &(k, v) in extra {
@@ -1339,6 +1409,7 @@ fn deadline_budget(
                     0,
                     &[("queue_expired", 1)],
                     None,
+                    None,
                 ))
             } else {
                 Ok(Some(deadline - now))
@@ -1372,7 +1443,12 @@ fn run_decide_job(shared: &Arc<Shared>, mut job: DecideJob, progress: &ProgressH
                 job.options.cancel = Some(job.cancel.clone());
                 job.options.progress = Some(progress.clone());
                 type DecideRun = Result<
-                    (sufsat_core::Outcome, sufsat_core::DecideStats, Option<&'static str>),
+                    (
+                        sufsat_core::Outcome,
+                        sufsat_core::DecideStats,
+                        Option<&'static str>,
+                        Option<&'static str>,
+                    ),
                     String,
                 >;
                 let outcome = catch_unwind(AssertUnwindSafe(|| -> DecideRun {
@@ -1389,15 +1465,26 @@ fn run_decide_job(shared: &Arc<Shared>, mut job: DecideJob, progress: &ProgressH
                             .winner_mode()
                             .map(|m| mode_name(m))
                             .unwrap_or("none");
-                        Ok((d.outcome, d.stats, Some(winner)))
+                        Ok((d.outcome, d.stats, Some(winner), None))
+                    } else if let Some(cache) = &shared.cache {
+                        let (outcome, stats, cache_status) =
+                            decide_through_cache(cache, &mut tm, phi, &job);
+                        Ok((outcome, stats, None, Some(cache_status)))
                     } else {
                         let d = decide(&mut tm, phi, &job.options);
-                        Ok((d.outcome, d.stats, None))
+                        Ok((d.outcome, d.stats, None, None))
                     }
                 }));
                 match outcome {
-                    Ok(Ok((outcome, stats, winner))) => {
+                    Ok(Ok((outcome, stats, winner, cache_status))) => {
                         settle_outcome(shared, &outcome);
+                        if cache_status == Some("hit") {
+                            shared
+                                .cache_hit_latency
+                                .record(started.elapsed().as_micros() as u64);
+                        } else if cache_status == Some("coalesced") {
+                            shared.c_cache_coalesced.fetch_add(1, Ordering::Relaxed);
+                        }
                         verdict_reply(
                             job.id,
                             &outcome,
@@ -1408,6 +1495,7 @@ fn run_decide_job(shared: &Arc<Shared>, mut job: DecideJob, progress: &ProgressH
                                 ("queue_us", queue_wait.as_micros() as u64),
                             ],
                             winner,
+                            cache_status,
                         )
                     }
                     Ok(Err(message)) => {
@@ -1441,6 +1529,112 @@ fn run_decide_job(shared: &Arc<Shared>, mut job: DecideJob, progress: &ProgressH
     send(&job.reply, reply_payload);
     complete_job(shared, &job.conn, job.job_key);
     drop(span);
+}
+
+/// Runs a plain (non-portfolio) decide through the daemon's result cache
+/// with single-flight dedup on the canonical fingerprint.
+///
+/// Returns the outcome, the stats the reply should report (a hit replays
+/// the original solve's counters), and the reply's `cache` field:
+/// `"hit"` (answered from the store), `"coalesced"` (waited on an
+/// identical in-flight solve) or `"miss"` (solved here).
+fn decide_through_cache(
+    cache: &Arc<ResultCache>,
+    tm: &mut TermManager,
+    phi: sufsat_suf::TermId,
+    job: &DecideJob,
+) -> (Outcome, DecideStats, &'static str) {
+    let canonical = canonicalize(tm, phi);
+    let fp = canonical.fingerprint;
+    if let Some(value) = cache.lookup(fp, &canonical.bytes) {
+        return (cached_outcome(&value), stats_from_digest(&value.digest), "hit");
+    }
+    match cache.join(fp, job.deadline) {
+        Joined::Leader(guard) => {
+            let d = decide(tm, phi, &job.options);
+            // A cancelled run says nothing about the formula and this
+            // request is being torn down: hand the flight to a waiting
+            // follower (promotion) instead of publishing a non-answer.
+            if matches!(d.outcome, Outcome::Unknown(_)) && job.cancel.is_cancelled() {
+                drop(guard);
+                return (d.outcome, d.stats, "miss");
+            }
+            let value = light_value(&d.outcome, &d.stats);
+            if let Some(value) = &value {
+                cache.insert(fp, &canonical.bytes, value.clone());
+            }
+            guard.complete(value);
+            (d.outcome, d.stats, "miss")
+        }
+        Joined::Done(Some(value)) => (
+            cached_outcome(&value),
+            stats_from_digest(&value.digest),
+            "coalesced",
+        ),
+        Joined::Done(None) => {
+            // The leader finished without a definitive verdict; solve it
+            // ourselves and cache the result if we do better.
+            let d = decide(tm, phi, &job.options);
+            if let Some(value) = light_value(&d.outcome, &d.stats) {
+                cache.insert(fp, &canonical.bytes, value);
+            }
+            (d.outcome, d.stats, "miss")
+        }
+        Joined::TimedOut => (
+            Outcome::Unknown(StopReason::Timeout),
+            DecideStats::default(),
+            "miss",
+        ),
+    }
+}
+
+/// Rebuilds the reply-relevant outcome from a cached value. The daemon
+/// stores verdict-only entries — replies never carry models — so an
+/// `Invalid` hit surfaces an empty assignment.
+fn cached_outcome(value: &CacheValue) -> Outcome {
+    match value.verdict {
+        CachedVerdict::Valid => Outcome::Valid,
+        CachedVerdict::Invalid => Outcome::Invalid(SepAssignment::default()),
+    }
+}
+
+/// Replays the original solve's counters so reply extras stay truthful.
+fn stats_from_digest(digest: &StatsDigest) -> DecideStats {
+    let mut stats = DecideStats::default();
+    stats.dag_size = digest.dag_size as usize;
+    stats.cnf_clauses = digest.cnf_clauses;
+    stats.conflict_clauses = digest.conflict_clauses;
+    stats.decisions = digest.decisions;
+    stats.propagations = digest.propagations;
+    stats.sep_predicates = digest.sep_predicates as usize;
+    stats.translate_time = std::time::Duration::from_micros(digest.translate_time_us);
+    stats.sat_time = std::time::Duration::from_micros(digest.solve_time_us);
+    stats
+}
+
+/// The verdict-only cacheable projection of a finished solve, or `None`
+/// when the outcome is not definitive.
+fn light_value(outcome: &Outcome, stats: &DecideStats) -> Option<CacheValue> {
+    let verdict = match outcome {
+        Outcome::Valid => CachedVerdict::Valid,
+        Outcome::Invalid(_) => CachedVerdict::Invalid,
+        Outcome::Unknown(_) => return None,
+    };
+    Some(CacheValue {
+        verdict,
+        int_model: Vec::new(),
+        bool_model: Vec::new(),
+        digest: StatsDigest {
+            dag_size: stats.dag_size as u64,
+            cnf_clauses: stats.cnf_clauses,
+            conflict_clauses: stats.conflict_clauses,
+            decisions: stats.decisions,
+            propagations: stats.propagations,
+            sep_predicates: stats.sep_predicates as u64,
+            translate_time_us: stats.translate_time.as_micros() as u64,
+            solve_time_us: stats.sat_time.as_micros() as u64,
+        },
+    })
 }
 
 fn mode_name(mode: sufsat_core::EncodingMode) -> &'static str {
@@ -1647,6 +1841,7 @@ fn execute_session_op(
                     ("live", session.num_assertions() as u64),
                     ("depth", session.depth() as u64),
                 ],
+                None,
                 None,
             )
         }

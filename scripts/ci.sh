@@ -112,6 +112,38 @@ grep -q '"schema": "sufsat-serve-bench-v2"' target/ci-BENCH_serve.json
 # v2 must report queue-wait quantiles next to the latency quantiles.
 grep -q '"queue_wait_us"' target/ci-BENCH_serve.json
 
+echo "==> cache: unit + crash-recovery battery (canonicalizer, LRU, single-flight, torn tail)"
+cargo test -q --release -p sufsat-cache
+
+echo "==> cache: kill-restart warm hit + metrics exposure"
+cargo test -q --release --test serve_cache
+
+echo "==> cache: cold/warm/fresh differential lens (200 cases)"
+./target/release/sufsat-fuzz --list-procedures | grep -qx "cached"
+./target/release/sufsat-fuzz --seed 2026 --cases 200 --quiet --only cached \
+    --corpus target/fuzz-corpus
+
+echo "==> cache: traced duplicate-heavy bench (zipf) + hit-rate/speedup check"
+rm -f target/ci-cache-trace.jsonl
+./target/release/serve-bench --zipf 1.2 --seed 7 --clients 4 --workers 4 \
+    --duration 8 --trace target/ci-cache-trace.jsonl \
+    --out target/ci-BENCH_cache.json --check
+./target/release/paper-eval check-trace target/ci-cache-trace.jsonl
+grep -q '"schema": "sufsat-cache-bench-v1"' target/ci-BENCH_cache.json
+# The trace must actually carry cache traffic, not just pass the schema.
+grep -q '"name":"cache.hit"' target/ci-cache-trace.jsonl
+grep -q '"name":"cache.insert"' target/ci-cache-trace.jsonl
+# The earlier live /metrics scrape must expose the cache families too
+# (they render unconditionally, zeros included, so absence is a bug).
+for family in sufsat_cache_hits_total sufsat_cache_misses_total \
+              sufsat_cache_coalesced_total sufsat_cache_entries \
+              sufsat_cache_bytes sufsat_cache_hit_latency_us_bucket; do
+    if ! grep -q "$family" target/ci-metrics-scrape.txt; then
+        echo "live /metrics scrape is missing cache family $family" >&2
+        exit 1
+    fi
+done
+
 echo "==> smoke: differential fuzzing (fixed seed, certified answers)"
 # The panel must include the preprocessing lens (BVE + model
 # reconstruction differentially checked against the other ten members).

@@ -22,23 +22,29 @@
 //! `SUFSAT_TRACE=<path|stderr>` enables the same trace recording as
 //! `--trace` (the flag wins when both are given).
 //!
-//! Three subcommands wrap the resident daemon:
+//! Four subcommands wrap the resident daemon and its result cache:
 //!
 //! ```text
 //! sufsat serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!              [--default-timeout SECS] [--trace PATH|stderr]
-//!              [--metrics-addr HOST:PORT]
+//!              [--metrics-addr HOST:PORT] [--cache-bytes N]
+//!              [--cache-path PATH] [--no-cache]
 //! sufsat client [--addr HOST:PORT] [--timeout SECS] (FILE | --stats | --shutdown)
 //! sufsat top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--once]
+//! sufsat cache (inspect | compact) PATH [--entries]
 //! ```
 //!
 //! `serve` runs until SIGTERM/SIGINT or a client `shutdown` request, then
 //! drains gracefully; `--metrics-addr` additionally exposes Prometheus
 //! text on plain HTTP (`GET /metrics`) and a JSON health probe
-//! (`GET /health`). `client` sends one request to a running daemon.
+//! (`GET /health`); `--cache-path` persists the result cache across
+//! restarts. `client` sends one request to a running daemon.
 //! `top` polls a daemon's `metrics` op and renders a refreshing
-//! terminal dashboard: throughput, overload rate, latency quantiles and
-//! per-worker solver progress.
+//! terminal dashboard: throughput, overload rate, latency quantiles,
+//! result-cache state and per-worker solver progress. `cache` is the
+//! offline tool for a persistent cache log: `inspect` summarizes (and
+//! with `--entries` lists) its records, `compact` rewrites it keeping
+//! one record per fingerprint.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
         Some("serve") => run_serve(),
         Some("client") => run_client(),
         Some("top") => run_top(),
+        Some("cache") => run_cache(),
         _ => run(),
     };
     // Flush the trace (when one is being recorded) before the process
@@ -84,10 +91,20 @@ fn run_serve() -> ExitCode {
             }
             "--trace" => trace = Some(value("--trace")),
             "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")),
+            "--cache-bytes" => {
+                opts.cache_bytes = value("--cache-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --cache-bytes"));
+            }
+            "--cache-path" => {
+                opts.cache_path = Some(std::path::PathBuf::from(value("--cache-path")));
+            }
+            "--no-cache" => opts.cache_bytes = 0,
             "--help" | "-h" => {
                 println!("usage: sufsat serve [--addr HOST:PORT] [--workers N] [--queue-cap N]");
                 println!("                    [--default-timeout SECS] [--trace PATH|stderr]");
-                println!("                    [--metrics-addr HOST:PORT]");
+                println!("                    [--metrics-addr HOST:PORT] [--cache-bytes N]");
+                println!("                    [--cache-path PATH] [--no-cache]");
                 return ExitCode::SUCCESS;
             }
             other => die(&format!("unknown option `{other}`")),
@@ -317,6 +334,26 @@ fn run_top() -> ExitCode {
                 ms(p50), ms(p95), ms(p99), ms(max),
             ));
         }
+        if let Some(cache) = metrics.get("cache") {
+            if cache.get("enabled").and_then(Json::as_bool) == Some(true) {
+                let hits = u64_of(cache.get("hits"));
+                let misses = u64_of(cache.get("misses"));
+                let coalesced = u64_of(cache.get("coalesced"));
+                let lookups = hits + misses;
+                let rate = if lookups > 0 {
+                    hits as f64 / lookups as f64 * 100.0
+                } else {
+                    0.0
+                };
+                screen.push_str(&format!(
+                    "\n  cache  {rate:.1}% hit ({hits} hits, {misses} misses, {coalesced} coalesced)  entries {}  {} KiB  evictions {}  hit p50 {:.2} ms\n",
+                    u64_of(cache.get("entries")),
+                    u64_of(cache.get("bytes")) / 1024,
+                    u64_of(cache.get("evictions")),
+                    ms(u64_of(cache.get("hit_latency_us").and_then(|h| h.get("p50")))),
+                ));
+            }
+        }
         screen.push_str("\n  worker  state  conflicts  confl/s  trail  learnts  arena\n");
         if let Some(Json::Arr(workers)) = metrics.get("workers") {
             for (i, w) in workers.iter().enumerate() {
@@ -340,6 +377,81 @@ fn run_top() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         std::thread::sleep(interval);
+    }
+}
+
+/// `sufsat cache` — offline tooling for a persistent cache log.
+fn run_cache() -> ExitCode {
+    let mut args = std::env::args().skip(2);
+    let usage = || {
+        println!("usage: sufsat cache inspect PATH [--entries]");
+        println!("       sufsat cache compact PATH");
+    };
+    let sub = match args.next() {
+        Some(s) => s,
+        None => {
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    if sub == "--help" || sub == "-h" {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    let mut path: Option<std::path::PathBuf> = None;
+    let mut entries = false;
+    for arg in args {
+        match arg.as_str() {
+            "--entries" => entries = true,
+            other if !other.starts_with('-') => path = Some(std::path::PathBuf::from(other)),
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+    let path = path.unwrap_or_else(|| die(&format!("cache {sub} needs a log path")));
+    match sub.as_str() {
+        "inspect" => {
+            let (records, report) = sufsat_cache::scan(&path)
+                .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+            println!(
+                "{}: {} bytes, {} records ({} live after last-wins dedup), {} torn-tail bytes dropped",
+                path.display(),
+                report.file_bytes,
+                report.records,
+                report.unique,
+                report.truncated_bytes,
+            );
+            if entries {
+                for r in &records {
+                    println!(
+                        "  {}  {:<8} canon {} B  solve {} us",
+                        r.fingerprint.to_hex(),
+                        r.value.verdict.name(),
+                        r.canon.len(),
+                        r.value.digest.solve_time_us,
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "compact" => {
+            let (records, report) = sufsat_cache::scan(&path)
+                .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+            let (mut log, _, _) = sufsat_cache::CacheLog::open(&path)
+                .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", path.display())));
+            let new_size = log
+                .compact(&records)
+                .unwrap_or_else(|e| die(&format!("compaction failed: {e}")));
+            println!(
+                "{}: {} -> {} bytes ({} records kept of {})",
+                path.display(),
+                report.file_bytes,
+                new_size,
+                records.len(),
+                report.records,
+            );
+            ExitCode::SUCCESS
+        }
+        other => die(&format!("unknown cache subcommand `{other}`")),
     }
 }
 

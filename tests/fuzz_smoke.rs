@@ -28,11 +28,13 @@ fn fixed_seed_campaign_is_clean() {
     assert!(summary.definitive_cases >= 15, "{summary:?}");
     assert!(summary.meta_checks >= 30, "{summary:?}");
     // Every definitive answer is certified except those of the
-    // `eager:preprocess` lens, which runs uncertified (at most one per
-    // case) so bounded variable elimination is actually exercised.
+    // `eager:preprocess` lens (uncertified so bounded variable
+    // elimination is actually exercised) and the `cached` lens (its
+    // warm answers replay a stored verdict, which has no certificate) —
+    // at most one uncertified answer each per case.
     assert!(summary.certified_answers > 0);
     assert!(
-        summary.certified_answers >= summary.definitive_answers - summary.definitive_cases,
-        "at most one uncertified definitive answer per case: {summary:?}"
+        summary.certified_answers >= summary.definitive_answers - 2 * summary.definitive_cases,
+        "at most two uncertified definitive answers per case: {summary:?}"
     );
 }

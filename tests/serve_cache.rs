@@ -1,0 +1,182 @@
+//! End-to-end battery for the daemon's result cache: cold miss → warm
+//! hit on the same connection, a hit for an α-renamed spelling of the
+//! query, cache counters in the `metrics` op and the Prometheus scrape,
+//! and — the durability contract — a server killed and restarted on the
+//! same persistent log answering a previously-seen query as a hit.
+
+use std::time::Duration;
+
+use sufsat::serve::{reply_status, reply_verdict, Client, ServeOptions, Server};
+use sufsat_obs::json::Json;
+
+fn cache_field(reply: &Json) -> &str {
+    reply
+        .get("cache")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("reply lacks `cache` field: {reply:?}"))
+}
+
+fn temp_log_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sufsat-serve-cache-{tag}-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+const CONGRUENCE: &str = "(vars a b) (funs (f 1)) (formula (=> (= a b) (= (f a) (f b))))";
+// The same formula modulo renaming: must hit the same cache entry.
+const CONGRUENCE_ALPHA: &str =
+    "(vars u v) (funs (g 1)) (formula (=> (= u v) (= (g u) (g v))))";
+
+#[test]
+fn warm_requests_hit_the_cache() {
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            queue_cap: 16,
+            metrics_addr: Some("127.0.0.1:0".to_owned()),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr().to_string();
+    let metrics_addr = handle.metrics_addr().unwrap().to_string();
+    let mut client = Client::connect(&*addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let cold = client
+        .decide(CONGRUENCE, Some(Duration::from_secs(30)))
+        .unwrap();
+    assert_eq!(reply_status(&cold), "ok");
+    assert_eq!(reply_verdict(&cold), "valid");
+    assert_eq!(cache_field(&cold), "miss");
+
+    let warm = client
+        .decide(CONGRUENCE, Some(Duration::from_secs(30)))
+        .unwrap();
+    assert_eq!(reply_verdict(&warm), "valid");
+    assert_eq!(cache_field(&warm), "hit");
+
+    // The canonicalizer makes α-renamed spellings collide.
+    let renamed = client
+        .decide(CONGRUENCE_ALPHA, Some(Duration::from_secs(30)))
+        .unwrap();
+    assert_eq!(reply_verdict(&renamed), "valid");
+    assert_eq!(cache_field(&renamed), "hit");
+
+    // The `metrics` op and the Prometheus scrape both expose the cache.
+    let metrics = client.metrics().unwrap();
+    let cache = metrics
+        .get("cache")
+        .unwrap_or_else(|| panic!("metrics reply lacks cache block: {metrics:?}"));
+    assert_eq!(cache.get("enabled").and_then(Json::as_bool), Some(true));
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("inserts").and_then(Json::as_u64), Some(1));
+    assert!(
+        cache
+            .get("hit_latency_us")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 2,
+        "hit latency histogram empty: {cache:?}"
+    );
+
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&*metrics_addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: sufsat\r\n\r\n").unwrap();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).unwrap();
+    for family in [
+        "sufsat_cache_hits_total 2",
+        "sufsat_cache_misses_total 1",
+        "sufsat_cache_inserts_total 1",
+        "sufsat_cache_enabled 1",
+        "sufsat_cache_entries 1",
+        "sufsat_cache_hit_latency_us_count",
+    ] {
+        assert!(body.contains(family), "scrape lacks `{family}`:\n{body}");
+    }
+
+    let mut admin = Client::connect(&*addr).unwrap();
+    admin.shutdown_server().unwrap();
+    drop(client);
+    handle.wait();
+}
+
+#[test]
+fn restarted_server_answers_seen_queries_from_the_log() {
+    let path = temp_log_path("restart");
+    let opts = || ServeOptions {
+        workers: 1,
+        queue_cap: 8,
+        cache_path: Some(path.clone()),
+        ..ServeOptions::default()
+    };
+
+    // First life: solve once (a miss) so the log records the verdict.
+    let handle = Server::bind("127.0.0.1:0", opts()).unwrap();
+    let addr = handle.local_addr().to_string();
+    let mut client = Client::connect(&*addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let cold = client
+        .decide(CONGRUENCE, Some(Duration::from_secs(30)))
+        .unwrap();
+    assert_eq!(reply_verdict(&cold), "valid");
+    assert_eq!(cache_field(&cold), "miss");
+    let mut admin = Client::connect(&*addr).unwrap();
+    admin.shutdown_server().unwrap();
+    drop(client);
+    handle.wait();
+
+    // Second life, same log: the very first request is already warm.
+    let handle = Server::bind("127.0.0.1:0", opts()).unwrap();
+    let addr = handle.local_addr().to_string();
+    let mut client = Client::connect(&*addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let warm = client
+        .decide(CONGRUENCE, Some(Duration::from_secs(30)))
+        .unwrap();
+    assert_eq!(reply_verdict(&warm), "valid");
+    assert_eq!(cache_field(&warm), "hit");
+    let mut admin = Client::connect(&*addr).unwrap();
+    admin.shutdown_server().unwrap();
+    drop(client);
+    handle.wait();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn zero_budget_disables_the_cache() {
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            queue_cap: 8,
+            cache_bytes: 0,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr().to_string();
+    let mut client = Client::connect(&*addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    for _ in 0..2 {
+        let reply = client
+            .decide(CONGRUENCE, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(reply_verdict(&reply), "valid");
+        assert!(reply.get("cache").is_none(), "cache field on a cacheless server: {reply:?}");
+    }
+    let metrics = client.metrics().unwrap();
+    let cache = metrics.get("cache").unwrap();
+    assert_eq!(cache.get("enabled").and_then(Json::as_bool), Some(false));
+    let mut admin = Client::connect(&*addr).unwrap();
+    admin.shutdown_server().unwrap();
+    drop(client);
+    handle.wait();
+}
